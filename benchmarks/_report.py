@@ -1,0 +1,42 @@
+"""Shared result collector for the benchmark suite.
+
+Every bench records paper-style rows here; a session-finish hook in
+``benchmarks/conftest.py`` renders them as fixed-width tables to stdout
+and to ``bench_results/<table>.txt`` so EXPERIMENTS.md can quote them.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from typing import Any, Dict, List
+
+from repro.exp import format_table
+
+_TABLES: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "bench_results")
+
+
+def record(table: str, columns: List[str], **row: Any) -> None:
+    """Append one row to the named table (columns fixed by first caller)."""
+    entry = _TABLES.setdefault(table, {"columns": list(columns), "rows": []})
+    entry["rows"].append(dict(row))
+
+
+def flush() -> None:
+    """Render all recorded tables to stdout and bench_results/."""
+    if not _TABLES:
+        return
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    print("\n" + "=" * 72)
+    print("PAPER-STYLE RESULT TABLES (also written to bench_results/)")
+    print("=" * 72)
+    for name, entry in _TABLES.items():
+        text = format_table(name, entry["columns"], entry["rows"])
+        print()
+        print(text)
+        safe = name.replace(" ", "_").replace("/", "-")
+        with open(os.path.join(RESULTS_DIR, f"{safe}.txt"), "w", encoding="utf-8") as f:
+            f.write(text + "\n")
+    _TABLES.clear()

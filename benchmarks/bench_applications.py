@@ -1,0 +1,65 @@
+"""Downstream applications the paper cites: LDD consumers and [Kou14]
+sparsification.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import _report
+from repro.clustering.ldd import low_diameter_decomposition
+from repro.graph import gnm_random_graph, is_connected
+from repro.spanners.sparsify import spanner_sparsify
+
+
+@pytest.mark.parametrize("beta", [0.1, 0.3])
+def test_ldd_contract(benchmark, bench_gnm, beta):
+    """The (beta, O(beta^-1 log n)) LDD contract: certified diameter and
+    cut fraction tracking beta."""
+    g = bench_gnm
+
+    def run():
+        outs = [low_diameter_decomposition(g, beta, seed=s) for s in range(4)]
+        return outs
+
+    decs = benchmark.pedantic(run, rounds=1, iterations=1)
+    for d in decs:
+        d.validate()
+    mean_cut = float(np.mean([d.cut_fraction for d in decs]))
+    worst_diam = max(2 * float(d.clustering.tree_radii().max()) for d in decs)
+    _report.record(
+        "LDD contract (beta, beta^-1 log n)",
+        ["beta", "mean_cut_fraction", "bound_~beta", "worst_diameter", "certified"],
+        beta=beta,
+        mean_cut_fraction=mean_cut,
+        **{"bound_~beta": beta},
+        worst_diameter=worst_diam,
+        certified=decs[0].diameter_bound,
+    )
+    # cut fraction scales with beta (within the quantization constant)
+    assert mean_cut <= 2.5 * beta + 0.02
+    assert worst_diam <= decs[0].diameter_bound
+
+
+def test_sparsification_trajectory(benchmark):
+    """[Kou14] skeleton: geometric size decay to the spanner floor with
+    connectivity preserved."""
+    g = gnm_random_graph(1000, 20000, seed=121, connected=True)
+
+    def run():
+        return spanner_sparsify(g, k=3, bundle=2, rounds=4, seed=122)
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    for r, size in enumerate(res.sizes):
+        _report.record(
+            "Sparsification trajectory [Kou14]",
+            ["round", "edges", "fraction_of_input"],
+            round=r,
+            edges=size,
+            fraction_of_input=size / g.m,
+        )
+    assert is_connected(res.graph)
+    assert res.sizes[-1] < 0.5 * g.m
+    # each early round shrinks markedly (before hitting the spanner floor)
+    assert res.sizes[1] <= 0.75 * res.sizes[0]

@@ -1,0 +1,102 @@
+"""Figure 1 (unweighted half): spanner quality vs the [BKMP10]-class baseline.
+
+Paper rows reproduced:
+
+    stretch 2k-1 | size O(k n^(1+1/k)) | work O(km) | depth O(k log* n)   [BKMP10]/[BS07]
+    stretch O(k) | size O(n^(1+1/k))   | work O(m)  | depth O(k log* n)   new
+
+For each k we measure, on the same graph: spanner size, measured max
+stretch, PRAM work, and PRAM depth for (a) our Algorithm 2 and (b)
+Baswana–Sen (the implementable representative of the 2k-1 rows).
+Shape assertions: our size stays below the paper bound with constant
+slack, our work does not grow with k while the baseline's does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import _report
+from repro.analysis import theory
+from repro.pram import PramTracker
+from repro.spanners import baswana_sen_spanner, max_edge_stretch, unweighted_spanner
+
+COLUMNS = ["k", "algorithm", "size", "paper_size_bound", "stretch", "stretch_bound", "work", "depth"]
+KS = [2, 3, 4, 6, 8]
+
+
+@pytest.mark.parametrize("k", KS)
+def test_fig1_unweighted_ours(benchmark, bench_gnm, k):
+    g = bench_gnm
+
+    def build():
+        t = PramTracker(n=g.n)
+        sp = unweighted_spanner(g, k, seed=31 + k, tracker=t)
+        return sp, t
+
+    sp, t = benchmark.pedantic(build, rounds=3, iterations=1)
+    stretch = max_edge_stretch(g, sp, sample_edges=2000, seed=1)
+    bound = theory.spanner_size_bound(g.n, k)
+    _report.record(
+        "Figure 1 unweighted spanners",
+        COLUMNS,
+        k=k,
+        algorithm="EST (new)",
+        size=sp.size,
+        paper_size_bound=bound,
+        stretch=stretch,
+        stretch_bound=sp.stretch_bound,
+        work=t.work,
+        depth=t.depth,
+    )
+    # shape: size within constant factor of O(n^(1+1/k)); stretch certified
+    assert sp.size <= 4 * bound + g.n
+    assert stretch <= sp.stretch_bound
+
+
+@pytest.mark.parametrize("k", KS)
+def test_fig1_unweighted_baswana_sen(benchmark, bench_gnm, k):
+    g = bench_gnm
+
+    def build():
+        t = PramTracker(n=g.n)
+        sp = baswana_sen_spanner(g, k, seed=31 + k, tracker=t)
+        return sp, t
+
+    sp, t = benchmark.pedantic(build, rounds=3, iterations=1)
+    stretch = max_edge_stretch(g, sp, sample_edges=2000, seed=1)
+    _report.record(
+        "Figure 1 unweighted spanners",
+        COLUMNS,
+        k=k,
+        algorithm="Baswana-Sen [BS07]",
+        size=sp.size,
+        paper_size_bound=theory.baswana_sen_size_bound(g.n, k),
+        stretch=stretch,
+        stretch_bound=2 * k - 1,
+        work=t.work,
+        depth=t.depth,
+    )
+    assert stretch <= 2 * k - 1 + 1e-9
+
+
+def test_fig1_work_shape(benchmark, bench_gnm):
+    """The figure's work column: ours O(m) flat in k, baseline O(km)."""
+    g = bench_gnm
+
+    def measure():
+        ours, bs = [], []
+        for k in (2, 8):
+            t1 = PramTracker(n=g.n)
+            unweighted_spanner(g, k, seed=7, tracker=t1)
+            ours.append(t1.work)
+            t2 = PramTracker(n=g.n)
+            baswana_sen_spanner(g, k, seed=7, tracker=t2)
+            bs.append(t2.work)
+        return ours, bs
+
+    ours, bs = benchmark.pedantic(measure, rounds=1, iterations=1)
+    # ours: k=8 work within 2x of k=2 work (flat); BS grows markedly
+    assert ours[1] <= 2.0 * ours[0]
+    assert bs[1] >= 1.5 * bs[0]

@@ -1,0 +1,109 @@
+"""Figure 2: hopset constructions compared.
+
+Paper rows reproduced (hop count, size, work, depth):
+
+    O(n^0.5) hops | size O(n) | work O(m n^0.5)     | depth O(n^0.5 log n)   [KS97, SS99] exact
+    polylog hops  | size O(n polylog) | work O~(m n^a) | polylog depth       [Coh00]
+    O(n^(4+a)/(4+2a)) hops | size O(n) | work O(m log^(3+a) n) | sublinear   new
+
+For each construction on the same mesh we measure: hopset size,
+preprocessing PRAM work/depth, achieved hop count on far pairs, and
+distortion.  Shape assertions: ours needs far less work than KS97 while
+reducing hops by a large factor; all distortions within bounds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import _report
+from repro.analysis import hop_reduction_summary, theory
+from repro.hopsets import (
+    HopsetParams,
+    build_hopset,
+    cohen_style_hopset,
+    ks97_hopset,
+)
+from repro.pram import PramTracker
+
+COLUMNS = [
+    "algorithm", "size", "prep_work", "paper_work", "prep_depth",
+    "mean_hops", "plain_hops", "max_distortion",
+]
+PARAMS = HopsetParams(epsilon=0.5, delta=1.5, gamma1=0.15, gamma2=0.5)
+
+
+def _measure(g, hs, tracker, label, paper_work):
+    summary = hop_reduction_summary(hs, n_pairs=10, seed=5)
+    _report.record(
+        "Figure 2 hopset constructions",
+        COLUMNS,
+        algorithm=label,
+        size=hs.size,
+        prep_work=tracker.work,
+        paper_work=paper_work,
+        prep_depth=tracker.depth,
+        mean_hops=summary.mean_hopset_hops,
+        plain_hops=summary.mean_plain_hops,
+        max_distortion=summary.max_distortion,
+    )
+    return summary
+
+
+def test_fig2_est_hopset(benchmark, bench_grid):
+    g = bench_grid
+
+    def build():
+        t = PramTracker(n=g.n)
+        hs = build_hopset(g, PARAMS, seed=51, tracker=t)
+        return hs, t
+
+    hs, t = benchmark.pedantic(build, rounds=3, iterations=1)
+    s = _measure(g, hs, t, "EST recursive (new)",
+                 theory.thm44_work_bound(g.m, g.n, PARAMS.delta, PARAMS.epsilon))
+    assert s.mean_hopset_hops < s.mean_plain_hops  # genuine shortcutting
+    assert s.max_distortion <= PARAMS.predicted_distortion(g.n)
+    assert hs.star_count <= g.n  # Lemma 4.3
+
+
+def test_fig2_ks97(benchmark, bench_grid):
+    g = bench_grid
+
+    def build():
+        t = PramTracker(n=g.n)
+        hs = ks97_hopset(g, seed=52, tracker=t)
+        return hs, t
+
+    hs, t = benchmark.pedantic(build, rounds=3, iterations=1)
+    s = _measure(g, hs, t, "KS97 hubs (exact)", theory.ks97_work_bound(g.m, g.n))
+    assert s.max_distortion <= 1.0 + 1e-9  # exact hopset
+    assert s.mean_hopset_hops <= s.mean_plain_hops
+
+
+def test_fig2_cohen_style(benchmark, bench_grid):
+    g = bench_grid
+
+    def build():
+        t = PramTracker(n=g.n)
+        hs = cohen_style_hopset(g, levels=2, seed=53, radius_factor=3.0, tracker=t)
+        return hs, t
+
+    hs, t = benchmark.pedantic(build, rounds=1, iterations=1)
+    s = _measure(g, hs, t, "Cohen-style hubs", float("nan"))
+    assert s.mean_hopset_hops <= s.mean_plain_hops
+
+
+def test_fig2_work_ordering(benchmark, bench_grid):
+    """Figure 2's who-wins: our preprocessing work beats KS97's m*sqrt(n)."""
+    g = bench_grid
+
+    def run():
+        t1 = PramTracker(n=g.n)
+        build_hopset(g, PARAMS, seed=54, tracker=t1)
+        t2 = PramTracker(n=g.n)
+        ks97_hopset(g, seed=54, tracker=t2)
+        return t1.work, t2.work
+
+    ours, ks = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert ours < ks

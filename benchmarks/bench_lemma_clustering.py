@@ -1,0 +1,137 @@
+"""Section 2 lemma validation: Lemma 2.1, Lemma 2.2, Corollary 2.3, 3.1.
+
+Each bench runs a Monte-Carlo estimate of the lemma's quantity and
+checks it against the paper's closed-form bound:
+
+* Lemma 2.1  — cluster radius <= k log(n)/beta w.p. >= 1 - n^(1-k);
+* Lemma 2.2  — Pr[ball of radius r meets >= k clusters] <= (1-e^(-2rb))^(k-1);
+* Cor 2.3    — Pr[edge cut] <= 1 - exp(-beta w) < beta w;
+* Cor 3.1    — E[#clusters meeting B(v,1)] <= n^(1/k) at beta = log n/2k.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+import _report
+from repro.analysis import theory
+from repro.clustering import (
+    adjacent_cluster_counts,
+    cluster_radii,
+    est_cluster,
+    cut_edge_mask,
+)
+from repro.clustering.diagnostics import (
+    empirical_cut_probability,
+    monte_carlo_ball_intersections,
+)
+from repro.spanners.unweighted import spanner_beta
+
+
+@pytest.mark.parametrize("beta", [0.1, 0.3, 0.6])
+def test_lemma21_radius(benchmark, bench_gnm, beta):
+    g = bench_gnm
+
+    def run():
+        return [
+            float(cluster_radii(est_cluster(g, beta, seed=s, method="round")).max())
+            for s in range(8)
+        ]
+
+    radii = benchmark.pedantic(run, rounds=1, iterations=1)
+    bound = theory.lemma21_radius_bound(g.n, beta, k=2.0)
+    _report.record(
+        "Lemma 2.1 cluster radius",
+        ["beta", "max_radius_observed", "paper_bound", "violations"],
+        beta=beta,
+        max_radius_observed=max(radii),
+        paper_bound=bound,
+        violations=sum(r > bound for r in radii),
+    )
+    # failure probability 1/n per trial: 8 trials on n=1500 -> none expected
+    assert all(r <= bound for r in radii)
+
+
+@pytest.mark.parametrize("r", [0.5, 1.0, 2.0])
+def test_lemma22_ball_intersections(benchmark, bench_gnm, r):
+    g = bench_gnm
+    beta = 0.3
+    trials = 60
+
+    def run():
+        return monte_carlo_ball_intersections(g, beta, r, trials, seed=17, method="round")
+
+    counts = benchmark.pedantic(run, rounds=1, iterations=1)
+    for k in (2, 3, 4):
+        emp = float((counts >= k).mean())
+        bound = theory.lemma22_ball_bound(r, beta, k)
+        _report.record(
+            "Lemma 2.2 ball intersections",
+            ["radius", "k", "empirical_prob", "paper_bound"],
+            radius=r,
+            k=k,
+            empirical_prob=emp,
+            paper_bound=bound,
+        )
+        # 3-sigma Monte-Carlo envelope around the bound
+        sigma = math.sqrt(bound * (1 - bound) / trials) if 0 < bound < 1 else 0.05
+        assert emp <= bound + 3 * sigma + 0.02
+
+
+@pytest.mark.parametrize("beta", [0.05, 0.15, 0.4])
+def test_cor23_cut_probability(benchmark, bench_grid, beta):
+    # exact mode: the lemma is about the real-valued shift race (the
+    # round-synchronous quantization adds absolute slack).  Measured on
+    # the mesh, where beta * diameter >> 1 keeps clusters local and the
+    # trial-mean concentrates; on diameter-5 expanders the cut fraction
+    # is bimodal across trials (all-or-nothing near-ties of the top
+    # shifts) and needs far more trials to average out.
+    g = bench_grid
+    trials = 30
+
+    def run():
+        return empirical_cut_probability(g, beta, trials, seed=23, method="exact")
+
+    freq, bound = benchmark.pedantic(run, rounds=1, iterations=1)
+    mean_freq = float(freq.mean())
+    mean_bound = float(bound.mean())
+    _report.record(
+        "Corollary 2.3 edge cut probability",
+        ["beta", "mean_cut_freq", "paper_bound_mean", "exceed_frac"],
+        beta=beta,
+        mean_cut_freq=mean_freq,
+        paper_bound_mean=mean_bound,
+        exceed_frac=float((freq > bound + 0.25).mean()),
+    )
+    # Monte-Carlo envelope over 12 trials x 9000 edges
+    assert mean_freq <= mean_bound + 0.01
+
+
+@pytest.mark.parametrize("k", [2, 4, 8])
+def test_cor31_adjacent_clusters(benchmark, bench_gnm, k):
+    g = bench_gnm
+    beta = spanner_beta(g.n, k)
+
+    def run():
+        means = []
+        for s in range(6):
+            c = est_cluster(g, beta, seed=s, method="round")
+            # +1: the vertex's own cluster also meets B(v, 1)
+            means.append(float(adjacent_cluster_counts(g, c).mean()) + 1.0)
+        return float(np.mean(means))
+
+    mean_clusters = benchmark.pedantic(run, rounds=1, iterations=1)
+    bound = theory.cor31_expected_clusters(g.n, k)
+    _report.record(
+        "Corollary 3.1 clusters per unit ball",
+        ["k", "beta", "mean_clusters_observed", "paper_bound_n^(1/k)"],
+        k=k,
+        beta=beta,
+        mean_clusters_observed=mean_clusters,
+        **{"paper_bound_n^(1/k)": bound},
+    )
+    # constant-factor envelope (quantized race, finite n)
+    assert mean_clusters <= 2.0 * bound + 1.0

@@ -1,0 +1,118 @@
+"""Section 4 validation: Lemma 4.2 (hops/distortion), Lemma 4.3 (size),
+Theorem 4.4 (work/depth scaling).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import _report
+from repro.analysis import fit_power_law, hop_reduction_summary, theory
+from repro.graph import grid_graph
+from repro.hopsets import HopsetParams, build_hopset
+from repro.pram import PramTracker
+
+PARAMS = HopsetParams(epsilon=0.5, delta=1.5, gamma1=0.15, gamma2=0.5)
+
+
+def test_lemma42_hops_and_distortion(benchmark, bench_grid):
+    g = bench_grid
+
+    def run():
+        hs = build_hopset(g, PARAMS, seed=61)
+        return hop_reduction_summary(hs, n_pairs=12, seed=62)
+
+    s = benchmark.pedantic(run, rounds=1, iterations=1)
+    d_typical = float(np.sqrt(g.n))  # mesh: typical distance ~ sqrt(n)
+    paper_h = PARAMS.predicted_hop_bound(g.n, d_typical)
+    _report.record(
+        "Lemma 4.2 hop count and distortion",
+        ["graph", "mean_plain_hops", "mean_hopset_hops", "paper_hop_bound",
+         "max_distortion", "paper_distortion_bound"],
+        graph=f"grid n={g.n}",
+        mean_plain_hops=s.mean_plain_hops,
+        mean_hopset_hops=s.mean_hopset_hops,
+        paper_hop_bound=paper_h,
+        max_distortion=s.max_distortion,
+        paper_distortion_bound=PARAMS.predicted_distortion(g.n),
+    )
+    assert s.mean_hopset_hops <= paper_h
+    assert s.max_distortion <= PARAMS.predicted_distortion(g.n)
+    assert s.hop_reduction > 2.0  # meaningful shortcutting on the mesh
+
+
+def test_lemma43_size_bounds(benchmark):
+    sides = [16, 24, 32, 40]
+
+    def run():
+        rows = []
+        for side in sides:
+            g = grid_graph(side, side)
+            hs = build_hopset(g, PARAMS, seed=63)
+            rows.append((g.n, hs.star_count, hs.clique_count))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    for n, stars, cliques in rows:
+        star_bound = theory.lemma43_star_bound(n)
+        clique_bound = theory.lemma43_clique_bound(
+            n, PARAMS.n_final(n), PARAMS.rho(n)
+        )
+        _report.record(
+            "Lemma 4.3 hopset size",
+            ["n", "star_edges", "star_bound_n", "clique_edges", "clique_bound"],
+            n=n,
+            star_edges=stars,
+            star_bound_n=star_bound,
+            clique_edges=cliques,
+            clique_bound=clique_bound,
+        )
+        assert stars <= star_bound
+        assert cliques <= clique_bound
+
+    # total size stays near-linear: fit exponent ~1 over the sweep
+    ns = [r[0] for r in rows]
+    totals = [max(r[1] + r[2], 1) for r in rows]
+    fit = fit_power_law(ns, totals)
+    assert fit.exponent <= 1.6
+
+
+def test_thm44_work_depth_scaling(benchmark):
+    """Theorem 4.4 shape: work O~(m), depth O~(n^gamma2) — fit exponents."""
+    sides = [16, 24, 32, 44]
+
+    def run():
+        ns, works, depths = [], [], []
+        for side in sides:
+            g = grid_graph(side, side)
+            t = PramTracker(n=g.n)
+            build_hopset(g, PARAMS, seed=64, tracker=t)
+            ns.append(g.n)
+            works.append(t.work)
+            depths.append(t.depth)
+        return ns, works, depths
+
+    ns, works, depths = benchmark.pedantic(run, rounds=1, iterations=1)
+    work_fit = fit_power_law(ns, works)
+    depth_fit = fit_power_law(ns, depths)
+    _report.record(
+        "Theorem 4.4 work/depth scaling",
+        ["quantity", "fit_exponent", "paper_exponent", "r_squared"],
+        quantity="work (vs n, m ~ 2n)",
+        fit_exponent=work_fit.exponent,
+        paper_exponent=1.0,
+        r_squared=work_fit.r_squared,
+    )
+    _report.record(
+        "Theorem 4.4 work/depth scaling",
+        ["quantity", "fit_exponent", "paper_exponent", "r_squared"],
+        quantity="depth",
+        fit_exponent=depth_fit.exponent,
+        paper_exponent=PARAMS.gamma2,
+        r_squared=depth_fit.r_squared,
+    )
+    # near-linear work (polylog factors inflate the exponent slightly at
+    # small n); depth strictly sublinear
+    assert work_fit.exponent <= 1.5
+    assert depth_fit.exponent <= 0.95

@@ -1,0 +1,94 @@
+"""Theorem 1.1 scaling: spanner size exponent vs the n^(1+1/k) law.
+
+Sweeps n at fixed density, fits ``size ~ n^a``, and compares ``a``
+against the paper's ``1 + 1/k`` — the sharpest "shape" test of the
+size claim.  Also instantiates Corollary 4.5's concrete parameter set
+(delta = 1.1, eps = eps'/log n, gamma2 = 0.96) to confirm the pipeline
+runs at the paper's exact theory parameters.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+import _report
+from repro.analysis import fit_power_law
+from repro.graph import gnm_random_graph, grid_graph
+from repro.hopsets import HopsetParams, build_hopset, hopset_distance
+from repro.hopsets.query import exact_distance
+from repro.spanners import unweighted_spanner
+
+NS = [400, 800, 1600, 3200]
+DENSITY = 8  # m = DENSITY * n
+
+
+@pytest.mark.parametrize("k", [2, 3, 4])
+def test_size_exponent_vs_paper(benchmark, k):
+    def run():
+        sizes = []
+        for n in NS:
+            reps = [
+                unweighted_spanner(
+                    gnm_random_graph(n, DENSITY * n, seed=151 + n, connected=True),
+                    k,
+                    seed=s,
+                ).size
+                for s in range(3)
+            ]
+            sizes.append(float(np.mean(reps)))
+        return sizes
+
+    sizes = benchmark.pedantic(run, rounds=1, iterations=1)
+    fit = fit_power_law(NS, sizes)
+    paper = 1 + 1 / k
+    _report.record(
+        "Theorem 1.1 size scaling",
+        ["k", "fit_exponent", "paper_1+1/k", "r_squared"],
+        k=k,
+        fit_exponent=fit.exponent,
+        **{"paper_1+1/k": paper},
+        r_squared=fit.r_squared,
+    )
+    # the exponent should track 1 + 1/k within finite-size slack; the
+    # forest floor (n-1 edges) keeps it >= ~1
+    assert fit.exponent <= paper + 0.25
+    assert fit.exponent >= 0.85
+
+
+def test_corollary45_exact_parameters(benchmark):
+    """Corollary 4.5's instantiation: delta = 1.1, eps = eps'/log n,
+    gamma2 = 0.96 — the paper's concrete example must run end to end
+    and stay within its distortion budget."""
+    g = grid_graph(32, 32)
+    eps_prime = 0.5
+    params = HopsetParams(
+        epsilon=eps_prime / math.log(g.n),
+        delta=1.1,
+        gamma1=0.05,
+        gamma2=0.96,
+    )
+
+    def run():
+        hs = build_hopset(g, params, seed=152)
+        s, t = 0, g.n - 1
+        d = exact_distance(g, s, t)
+        est, hops = hopset_distance(hs, s, t)
+        return hs, d, est, hops
+
+    hs, d, est, hops = benchmark.pedantic(run, rounds=1, iterations=1)
+    _report.record(
+        "Corollary 4.5 exact parameters",
+        ["n", "hopset_edges", "exact", "estimate", "ratio", "hops"],
+        n=g.n,
+        hopset_edges=hs.size,
+        exact=d,
+        estimate=est,
+        ratio=est / d,
+        hops=hops,
+    )
+    # eps'/log n per level telescopes to (1 + eps') overall
+    assert est <= (1 + eps_prime) * d + 1e-9
+    assert est >= d - 1e-9

@@ -1,0 +1,118 @@
+"""Theorem 5.3 / Corollary 5.4: weighted hopsets via rounding + scales.
+
+Measures, on a weighted random graph: per-scale hopset sizes, total
+preprocessing work, query accuracy over random pairs, and the rounding
+distortion (Lemma 5.2's (1+zeta) factor).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import _report
+from repro.graph import gnm_random_graph, with_random_weights
+from repro.hopsets import HopsetParams, build_weighted_hopset, exact_distance
+from repro.hopsets.rounding import round_weights
+from repro.pram import PramTracker
+
+PARAMS = HopsetParams(epsilon=0.5, delta=1.5, gamma1=0.15, gamma2=0.5)
+
+
+@pytest.fixture(scope="module")
+def weighted_graph():
+    g = gnm_random_graph(500, 2500, seed=71, connected=True)
+    return with_random_weights(g, 1.0, 512.0, "loguniform", seed=72)
+
+
+def test_thm53_build_and_query(benchmark, weighted_graph):
+    g = weighted_graph
+
+    def build():
+        t = PramTracker(n=g.n)
+        wh = build_weighted_hopset(g, PARAMS, eta=0.3, zeta=0.25, seed=73, tracker=t)
+        return wh, t
+
+    wh, t = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    rng = np.random.default_rng(74)
+    ratios = []
+    for _ in range(10):
+        s, v = rng.integers(0, g.n, 2)
+        if s == v:
+            continue
+        d = exact_distance(g, int(s), int(v))
+        est, _ = wh.query(int(s), int(v))
+        ratios.append(est / d)
+    worst = max(ratios)
+    bound = (1 + wh.zeta) * PARAMS.predicted_distortion(g.n)
+    _report.record(
+        "Theorem 5.3 weighted hopsets",
+        ["n", "m", "U", "scales", "hopset_edges", "prep_work", "worst_ratio", "paper_bound"],
+        n=g.n,
+        m=g.m,
+        U=g.weight_ratio,
+        scales=len(wh.scales),
+        hopset_edges=wh.total_hopset_edges,
+        prep_work=t.work,
+        worst_ratio=worst,
+        paper_bound=bound,
+    )
+    assert all(r >= 1.0 - 1e-9 for r in ratios)  # never undershoots
+    assert worst <= bound
+
+
+def test_lemma52_rounding_levels(benchmark, weighted_graph):
+    """Lemma 5.2: after rounding at scale d with budget k, band paths
+    need at most ~ck/zeta weighted-BFS levels."""
+    g = weighted_graph
+
+    def run():
+        from repro.paths.dijkstra import dijkstra_scipy
+
+        d_all = dijkstra_scipy(g, 0)
+        finite = np.isfinite(d_all) & (d_all > 0)
+        d_anchor = float(np.median(d_all[finite]))
+        zeta = 0.25
+        r = round_weights(g, d=d_anchor, k=g.n, zeta=zeta)
+        d_rounded = dijkstra_scipy(r.graph, 0)
+        band = finite & (d_all >= d_anchor) & (d_all <= 2 * d_anchor)
+        worst_levels = float(d_rounded[band].max()) if band.any() else 0.0
+        level_bound = 2 * g.n / zeta + 1  # c = 2 band, k = n
+        over = float((r.w_hat * d_rounded[band] / d_all[band]).max()) if band.any() else 1.0
+        return worst_levels, level_bound, over, zeta
+
+    worst_levels, level_bound, over, zeta = benchmark.pedantic(run, rounds=1, iterations=1)
+    _report.record(
+        "Lemma 5.2 rounding",
+        ["levels_needed", "paper_level_bound", "worst_distortion", "bound_1+zeta"],
+        levels_needed=worst_levels,
+        paper_level_bound=level_bound,
+        worst_distortion=over,
+        **{"bound_1+zeta": 1 + zeta},
+    )
+    assert worst_levels <= level_bound
+    assert over <= 1 + zeta + 1e-9
+
+
+def test_thm53_scale_count_constant_in_U(benchmark):
+    """The number of scales grows with log U / (eta log n): doubling U
+    adds at most one scale at fixed eta."""
+    from repro.hopsets.weighted import distance_scales
+
+    def run():
+        counts = []
+        for top in (64.0, 4096.0, 2.0**18):
+            g = gnm_random_graph(300, 1200, seed=75, connected=True)
+            gw = with_random_weights(g, 1.0, top, "loguniform", seed=76)
+            counts.append(len(distance_scales(gw, eta=0.3)))
+        return counts
+
+    counts = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert counts == sorted(counts)
+    # scales = log(n U) / (eta log n): growing U from 2^6 to 2^18 adds
+    # ~ 12 ln 2 / (0.3 ln 300) ~ 5 scales
+    import math
+
+    predicted_extra = 12 * math.log(2) / (0.3 * math.log(300))
+    assert counts[-1] - counts[0] <= predicted_extra + 2

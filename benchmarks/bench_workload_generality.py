@@ -1,0 +1,80 @@
+"""Workload generality: the Theorem 1.1/1.2 claims across graph families.
+
+Figures 1–2 are family-agnostic claims; this bench sweeps the full
+workload registry (meshes, expanders, power-law, skewed R-MAT, road
+proxies) through the spanner and hopset pipelines and asserts the
+bounds hold on every family — the robustness check a downstream
+adopter cares about most.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import _report
+from repro.analysis import hop_reduction_summary, theory
+from repro.exp.workloads import get_workload
+from repro.hopsets import HopsetParams, build_hopset
+from repro.pram import PramTracker
+from repro.spanners import max_edge_stretch, unweighted_spanner
+
+PARAMS = HopsetParams(epsilon=0.5, delta=1.5, gamma1=0.15, gamma2=0.5)
+FAMILIES = ["gnm-small", "grid-36", "torus-24", "ba-500", "rmat-9", "rgg-giant"]
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_spanner_across_families(benchmark, family):
+    g = get_workload(family)(seed=161)
+    k = 3
+
+    def run():
+        t = PramTracker(n=g.n)
+        sp = unweighted_spanner(g, k, seed=162, tracker=t)
+        return sp, t
+
+    sp, t = benchmark.pedantic(run, rounds=1, iterations=1)
+    stretch = max_edge_stretch(g, sp, sample_edges=min(g.m, 1500), seed=1)
+    _report.record(
+        "Spanner generality (k=3)",
+        ["family", "n", "m", "size", "size_bound", "stretch", "work_per_edge"],
+        family=family,
+        n=g.n,
+        m=g.m,
+        size=sp.size,
+        size_bound=theory.spanner_size_bound(g.n, k),
+        stretch=stretch,
+        work_per_edge=t.work / max(g.m, 1),
+    )
+    assert stretch <= sp.stretch_bound
+    assert sp.size <= 4 * theory.spanner_size_bound(g.n, k) + g.n
+    assert t.work <= 60 * g.m  # O(m) with constants, on every family
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_hopset_across_families(benchmark, family):
+    g = get_workload(family)(seed=163)
+
+    def run():
+        hs = build_hopset(g, PARAMS, seed=164)
+        return hs, hop_reduction_summary(hs, n_pairs=6, seed=165)
+
+    hs, s = benchmark.pedantic(run, rounds=1, iterations=1)
+    _report.record(
+        "Hopset generality",
+        ["family", "n", "hopset_edges", "stars", "cliques", "mean_hops",
+         "plain_hops", "max_distortion"],
+        family=family,
+        n=g.n,
+        hopset_edges=hs.size,
+        stars=hs.star_count,
+        cliques=hs.clique_count,
+        mean_hops=s.mean_hopset_hops,
+        plain_hops=s.mean_plain_hops,
+        max_distortion=s.max_distortion,
+    )
+    # the universal guarantees: valid weights, Lemma 4.3 star bound,
+    # bounded distortion, hop counts never worse than plain
+    assert hs.star_count <= g.n
+    assert s.max_distortion <= PARAMS.predicted_distortion(g.n) + 1e-9
+    assert s.mean_hopset_hops <= s.mean_plain_hops + 1e-9

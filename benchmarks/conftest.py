@@ -1,0 +1,43 @@
+"""Benchmark suite configuration: shared graphs + result-table flushing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import _report
+from repro.graph import (
+    gnm_random_graph,
+    grid_graph,
+    with_random_weights,
+)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    _report.flush()
+
+
+# ----------------------------------------------------------------------
+# session-scoped workloads shared across bench modules
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="session")
+def bench_gnm():
+    """Sparse random graph: the spanner workhorse (n=1500, m=9000)."""
+    return gnm_random_graph(1500, 9000, seed=101, connected=True)
+
+
+@pytest.fixture(scope="session")
+def bench_gnm_weighted(bench_gnm):
+    """Log-uniform weights spanning U = 2^12."""
+    return with_random_weights(bench_gnm, 1.0, 4096.0, "loguniform", seed=102)
+
+
+@pytest.fixture(scope="session")
+def bench_grid():
+    """Mesh (diameter Theta(sqrt n)): the hopset workhorse (n=1296)."""
+    return grid_graph(36, 36)
+
+
+@pytest.fixture(scope="session")
+def bench_grid_large():
+    return grid_graph(48, 48)

@@ -1,0 +1,76 @@
+"""Hopset-accelerated parallel SSSP: the Theorem 1.2 pipeline.
+
+Compares three ways to answer single-source shortest-path queries on a
+mesh (the worst case for frontier parallelism — diameter Theta(sqrt n)):
+
+1. plain parallel BFS           — depth = diameter, work O(m)
+2. KS97 sqrt(n)-hub hopset      — preprocessing work O(m sqrt n)
+3. EST hopset (Algorithm 4)     — preprocessing work O(m polylog n)
+
+and prints the Figure 2 shape on a concrete input: preprocessing work,
+hopset size, query rounds (PRAM depth), and answer quality.
+
+Run:  python examples/parallel_sssp.py
+"""
+
+import numpy as np
+
+import repro
+from repro.exp import Table
+from repro.paths import arcs_from_graph, hop_limited_distances
+from repro.pram import PramTracker
+
+
+def main() -> None:
+    side = 45
+    g = repro.grid_graph(side, side)
+    s, t = 0, g.n - 1
+    d_true = repro.exact_distance(g, s, t)
+    print(f"mesh {side}x{side}: n={g.n}, m={g.m}, dist(corner, corner)={d_true:.0f}")
+
+    table = Table(
+        title="SSSP strategies on the mesh (Figure 2 shape)",
+        columns=["method", "prep_work", "hopset_edges", "query_rounds", "estimate", "ratio"],
+    )
+
+    # -- 1. plain BFS: no preprocessing, depth = distance -----------------
+    qt = PramTracker(n=g.n, depth_per_round=1)
+    dist, _, rounds = hop_limited_distances(arcs_from_graph(g), np.asarray([s]), int(d_true) + 1, qt)
+    table.add(method="plain BFS", prep_work=0, hopset_edges=0,
+              query_rounds=rounds, estimate=float(dist[t]), ratio=dist[t] / d_true)
+
+    # -- 2. KS97 hub hopset ------------------------------------------------
+    pt = PramTracker(n=g.n)
+    ks = repro.ks97_hopset(g, seed=1, tracker=pt)
+    qt = PramTracker(n=g.n, depth_per_round=1)
+    budget = int(4 * np.sqrt(g.n)) + 10
+    dist, _, rounds = hop_limited_distances(ks.arcs(), np.asarray([s]), budget, qt)
+    table.add(method="KS97 hubs", prep_work=pt.work, hopset_edges=ks.size,
+              query_rounds=rounds, estimate=float(dist[t]), ratio=dist[t] / d_true)
+
+    # -- 3. EST hopset (this paper) ----------------------------------------
+    # query with the Lemma 4.2 hop budget; the *achieved* hop count of the
+    # answer path is what a PRAM run with the right h pays as depth
+    from repro.hopsets import suggested_hop_bound
+
+    params = repro.HopsetParams(epsilon=0.5, delta=1.5, gamma1=0.15, gamma2=0.5)
+    pt = PramTracker(n=g.n)
+    hs = repro.build_hopset(g, params, seed=2, tracker=pt)
+    h_budget = min(suggested_hop_bound(hs, d_true), int(d_true))
+    est, hops = repro.hopset_distance(hs, s, t, h=h_budget)
+    table.add(method="EST hopset (ours)", prep_work=pt.work, hopset_edges=hs.size,
+              query_rounds=hops, estimate=est, ratio=est / d_true)
+
+    print()
+    print(table.render())
+    print(
+        "\nreading guide: plain BFS needs depth ~ diameter; KS97 buys few"
+        "\nrounds with Theta(m sqrt(n)) preprocessing work; the EST hopset"
+        "\ngets comparable round counts at polylog-factor work (who-wins"
+        "\nshape of Figure 2; absolute constants differ from the paper's"
+        "\nPRAM since this is a cost-model simulation)."
+    )
+
+
+if __name__ == "__main__":
+    main()

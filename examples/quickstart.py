@@ -1,0 +1,70 @@
+"""Quickstart: spanners and hopsets in five minutes.
+
+Builds a random graph, sparsifies it with the paper's O(k)-spanner
+(Algorithm 2), shortcuts it with a hopset (Algorithm 4), and answers a
+(1+eps)-approximate distance query in a handful of Bellman-Ford rounds
+— printing the PRAM work/depth ledger for each stage.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+import repro
+from repro.exp import Table
+from repro.pram import PramTracker
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # a connected sparse random graph
+    # ------------------------------------------------------------------
+    n, m = 3000, 15000
+    g = repro.gnm_random_graph(n, m, seed=0, connected=True)
+    print(f"input graph: n={g.n}, m={g.m}")
+
+    # ------------------------------------------------------------------
+    # 1. spanner: keep O(n^(1+1/k)) edges, stretch O(k)
+    # ------------------------------------------------------------------
+    k = 3
+    sp_tracker = PramTracker(n=g.n)
+    spanner = repro.unweighted_spanner(g, k=k, seed=1, tracker=sp_tracker)
+    stretch = repro.max_edge_stretch(g, spanner, sample_edges=2000, seed=2)
+    print(
+        f"\nspanner (k={k}): kept {spanner.size}/{g.m} edges "
+        f"({100 * spanner.size / g.m:.1f}%), measured stretch {stretch:.2f} "
+        f"(certified bound {spanner.stretch_bound:.0f})"
+    )
+    print(f"  bound n^(1+1/k)   = {g.n ** (1 + 1 / k):.0f}")
+    print(f"  PRAM work = {sp_tracker.work}, depth = {sp_tracker.depth}")
+
+    # ------------------------------------------------------------------
+    # 2. hopset: shortcut edges so few BF rounds reach everything
+    # ------------------------------------------------------------------
+    hs_tracker = PramTracker(n=g.n)
+    params = repro.HopsetParams(epsilon=0.5, delta=1.5, gamma1=0.15, gamma2=0.5)
+    hopset = repro.build_hopset(g, params, seed=3, tracker=hs_tracker)
+    print(
+        f"\nhopset: {hopset.size} shortcut edges "
+        f"({hopset.star_count} star + {hopset.clique_count} clique)"
+    )
+    print(f"  PRAM work = {hs_tracker.work}, depth = {hs_tracker.depth}")
+
+    # ------------------------------------------------------------------
+    # 3. query: (1+eps)-approximate distances, few hops
+    # ------------------------------------------------------------------
+    rng = np.random.default_rng(4)
+    table = Table(title="distance queries", columns=["s", "t", "exact", "estimate", "ratio", "hops"])
+    for _ in range(5):
+        s, t = int(rng.integers(0, n)), int(rng.integers(0, n))
+        if s == t:
+            continue
+        exact = repro.exact_distance(g, s, t)
+        est, hops = repro.hopset_distance(hopset, s, t)
+        table.add(s=s, t=t, exact=exact, estimate=est, ratio=est / exact, hops=hops)
+    print()
+    print(table.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Road-network sparsification with weighted spanners.
+
+The paper's spanner section targets weighted graphs whose weights span
+a wide range — road networks are the canonical case (edge weight =
+travel time, spanning footpaths to motorways).  This example builds a
+random-geometric road proxy with log-uniform weights, sweeps the
+stretch parameter k, and prints the compression/stretch tradeoff for
+the paper's construction (Algorithm 3 + bucketing) against the
+Baswana–Sen baseline — the weighted half of Figure 1, on one concrete
+input.
+
+Run:  python examples/road_network_spanner.py
+"""
+
+import numpy as np
+
+import repro
+from repro.analysis import stretch_summary
+from repro.exp import Table
+from repro.graph import largest_component
+from repro.graph.builders import induced_subgraph
+from repro.pram import PramTracker
+
+
+def build_road_proxy(n: int = 2500, seed: int = 0):
+    """Unit-square RGG restricted to its giant component, with travel-time
+    weights spanning a factor of ~2^10."""
+    g0 = repro.random_geometric_graph(n, radius=0.035, seed=seed)
+    comp = largest_component(g0)
+    g1, _ = induced_subgraph(g0, comp)
+    return repro.with_random_weights(g1, 1.0, 1024.0, "loguniform", seed=seed + 1)
+
+
+def main() -> None:
+    g = build_road_proxy()
+    print(f"road proxy: n={g.n}, m={g.m}, weight ratio U={g.weight_ratio:.0f}")
+
+    table = Table(
+        title="weighted spanner tradeoff (ours vs Baswana-Sen)",
+        columns=["k", "algorithm", "edges", "kept%", "stretch_max", "stretch_p95", "work"],
+    )
+    for k in (2, 3, 5, 8):
+        t = PramTracker(n=g.n)
+        ours = repro.weighted_spanner(g, k, seed=10 + k, tracker=t)
+        s = stretch_summary(g, ours, sample_edges=min(g.m, 3000), seed=1)
+        table.add(
+            k=k, algorithm="EST (ours)", edges=ours.size,
+            **{"kept%": 100.0 * ours.size / g.m},
+            stretch_max=s.max, stretch_p95=s.p95, work=t.work,
+        )
+
+        t2 = PramTracker(n=g.n)
+        bs = repro.baswana_sen_spanner(g, k, seed=10 + k, tracker=t2)
+        s2 = stretch_summary(g, bs, sample_edges=min(g.m, 3000), seed=1)
+        table.add(
+            k=k, algorithm="Baswana-Sen", edges=bs.size,
+            **{"kept%": 100.0 * bs.size / g.m},
+            stretch_max=s2.max, stretch_p95=s2.p95, work=t2.work,
+        )
+    print()
+    print(table.render())
+    print(
+        "\nreading guide: the paper's headline improvement is WORK — O(m)"
+        "\nindependent of k, vs Baswana-Sen's O(km) (watch the work column"
+        "\ngrow with k for BS and stay flat for ours).  The size advantage"
+        "\n(log k vs k overhead on n^(1+1/k)) is asymptotic and only opens"
+        "\nup at much larger n; at this scale both sizes are comparable"
+        "\nwhile ours trades a larger (still O(k)) stretch constant."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+This environment has no network and no ``wheel`` package, so PEP-517
+editable installs (which must build an editable wheel) cannot run.
+Keeping a ``setup.py`` and omitting ``[build-system]`` from
+pyproject.toml lets ``pip install -e .`` fall back to the legacy
+``setup.py develop`` path, which works offline.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,142 @@
+"""repro — reproduction of *Improved Parallel Algorithms for Spanners
+and Hopsets* (Miller, Peng, Vladu, Xu; SPAA 2015).
+
+Quickstart::
+
+    import repro
+
+    g = repro.gnm_random_graph(2000, 10000, seed=0, connected=True)
+    spanner = repro.unweighted_spanner(g, k=3, seed=1)
+    hopset = repro.build_hopset(g, seed=2)
+    dist, hops = repro.hopset_distance(hopset, 0, 42)
+
+Subpackage layout (see DESIGN.md for the full inventory):
+
+========================  ==============================================
+``repro.graph``           CSR graphs, generators, quotient/contraction
+``repro.pram``            PRAM work/depth cost model
+``repro.parallel``        process-pool helpers for real fan-out
+``repro.paths``           BFS / weighted BFS / Bellman–Ford / Dijkstra
+``repro.clustering``      exponential start time clustering (Alg. 1)
+``repro.spanners``        Algorithms 2–3 + Baswana–Sen/greedy baselines
+``repro.hopsets``         Algorithm 4, Section 5, Appendices B–C,
+                          KS97/Cohen-style baselines
+``repro.analysis``        stretch/hop statistics, scaling fits, theory
+``repro.exp``             experiment harness and table rendering
+========================  ==============================================
+"""
+
+__version__ = "1.0.0"
+
+# graph substrate
+from repro.graph import (
+    CSRGraph,
+    from_edges,
+    from_networkx,
+    to_networkx,
+    gnm_random_graph,
+    grid_graph,
+    torus_graph,
+    path_graph,
+    cycle_graph,
+    star_graph,
+    complete_graph,
+    random_tree,
+    barabasi_albert_graph,
+    watts_strogatz_graph,
+    random_geometric_graph,
+    with_random_weights,
+    hard_weight_graph,
+    connected_components,
+    is_connected,
+)
+
+# cost model
+from repro.pram import PramTracker, log_star
+
+# clustering
+from repro.clustering import (
+    est_cluster,
+    Clustering,
+    low_diameter_decomposition,
+    LowDiameterDecomposition,
+)
+
+# spanners
+from repro.spanners import (
+    unweighted_spanner,
+    weighted_spanner,
+    baswana_sen_spanner,
+    greedy_spanner,
+    verify_spanner,
+    max_edge_stretch,
+    SpannerResult,
+    spanner_sparsify,
+)
+
+# hopsets
+from repro.hopsets import (
+    HopsetParams,
+    HopsetResult,
+    build_hopset,
+    build_weighted_hopset,
+    build_weight_scales,
+    build_limited_hopset,
+    hopset_distance,
+    hopset_sssp,
+    exact_distance,
+    ks97_hopset,
+    cohen_style_hopset,
+    expand_to_graph_path,
+    suggested_hop_bound,
+)
+
+__all__ = [
+    "__version__",
+    "CSRGraph",
+    "from_edges",
+    "from_networkx",
+    "to_networkx",
+    "gnm_random_graph",
+    "grid_graph",
+    "torus_graph",
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "complete_graph",
+    "random_tree",
+    "barabasi_albert_graph",
+    "watts_strogatz_graph",
+    "random_geometric_graph",
+    "with_random_weights",
+    "hard_weight_graph",
+    "connected_components",
+    "is_connected",
+    "PramTracker",
+    "log_star",
+    "est_cluster",
+    "Clustering",
+    "low_diameter_decomposition",
+    "LowDiameterDecomposition",
+    "unweighted_spanner",
+    "weighted_spanner",
+    "baswana_sen_spanner",
+    "greedy_spanner",
+    "verify_spanner",
+    "max_edge_stretch",
+    "SpannerResult",
+    "HopsetParams",
+    "HopsetResult",
+    "build_hopset",
+    "build_weighted_hopset",
+    "build_weight_scales",
+    "build_limited_hopset",
+    "hopset_distance",
+    "hopset_sssp",
+    "exact_distance",
+    "ks97_hopset",
+    "cohen_style_hopset",
+    "spanner_sparsify",
+    "expand_to_graph_path",
+    "suggested_hop_bound",
+]

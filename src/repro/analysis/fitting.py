@@ -1,0 +1,36 @@
+"""Log-log power-law fits for size/work/depth scaling claims."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.pram.report import fit_scaling_exponent
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """``y ≈ c * x^exponent`` with the fit's R² on log-log axes."""
+
+    exponent: float
+    constant: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        return self.constant * (x ** self.exponent)
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> PowerLawFit:
+    """Fit and also report goodness-of-fit (R² in log space)."""
+    a, c = fit_scaling_exponent(xs, ys)
+    x = np.asarray(xs, dtype=np.float64)
+    y = np.asarray(ys, dtype=np.float64)
+    ok = (x > 0) & (y > 0)
+    lx, ly = np.log(x[ok]), np.log(y[ok])
+    pred = a * lx + np.log(c)
+    ss_res = float(np.sum((ly - pred) ** 2))
+    ss_tot = float(np.sum((ly - ly.mean()) ** 2))
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return PowerLawFit(exponent=a, constant=c, r_squared=r2)

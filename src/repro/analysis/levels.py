@@ -1,0 +1,90 @@
+"""Per-level hopset structure diagnostics.
+
+Section 4's analysis is per recursion level (beta schedule, cluster
+counts, star/clique budgets); this module renders a construction's
+:class:`~repro.hopsets.result.LevelStats` as a table and checks the
+structural claims level by level — the fine-grained companion to the
+aggregate Lemma 4.3 bound.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import VerificationError
+from repro.exp.tables import Table
+from repro.hopsets.params import HopsetParams
+from repro.hopsets.result import HopsetResult
+
+
+def level_table(hopset: HopsetResult) -> Table:
+    """Render per-level statistics as a table."""
+    t = Table(
+        title="hopset recursion levels",
+        columns=[
+            "level", "subproblems", "vertices", "clusters",
+            "large_clusters", "star_edges", "clique_edges", "beta",
+        ],
+    )
+    for ls in hopset.levels:
+        t.add(
+            level=ls.level,
+            subproblems=ls.subproblems,
+            vertices=ls.vertices,
+            clusters=ls.clusters,
+            large_clusters=ls.large_clusters,
+            star_edges=ls.star_edges,
+            clique_edges=ls.clique_edges,
+            beta=ls.beta,
+        )
+    return t
+
+
+def check_level_invariants(hopset: HopsetResult, params: HopsetParams) -> None:
+    """Verify Section 4's per-level structure; raise on violation.
+
+    Checks: the beta schedule is non-decreasing and matches Claim 4.1's
+    geometric growth (up to the cap); per-level star edges never exceed
+    that level's vertex count; cluster counts never exceed vertices;
+    level-0 (the first call) adds no shortcut edges.
+    """
+    levels = hopset.levels
+    if not levels:
+        return
+    n_top = hopset.graph.n
+    prev_beta = 0.0
+    for ls in levels:
+        if ls.beta < prev_beta - 1e-12:
+            raise VerificationError(f"beta decreased at level {ls.level}")
+        prev_beta = ls.beta
+        expected = params.beta_at(ls.level, n_top)
+        if abs(ls.beta - expected) > 1e-9 * max(expected, 1.0):
+            raise VerificationError(
+                f"level {ls.level} beta {ls.beta} != Claim 4.1 value {expected}"
+            )
+        if ls.star_edges > ls.vertices:
+            raise VerificationError(
+                f"level {ls.level}: {ls.star_edges} stars exceed {ls.vertices} vertices"
+            )
+        if ls.clusters > ls.vertices:
+            raise VerificationError(
+                f"level {ls.level}: more clusters than vertices"
+            )
+        if ls.large_clusters > ls.clusters:
+            raise VerificationError(
+                f"level {ls.level}: more large clusters than clusters"
+            )
+    first = levels[0]
+    if first.level == 0 and (first.star_edges or first.clique_edges):
+        raise VerificationError("the first call must only split (Algorithm 4 line 4)")
+
+
+def levels_summary(hopset: HopsetResult) -> Dict[str, float]:
+    """Aggregate level statistics for benchmark rows."""
+    levels = hopset.levels
+    return {
+        "num_levels": float(len(levels)),
+        "total_subproblems": float(sum(l.subproblems for l in levels)),
+        "max_beta": max((l.beta for l in levels), default=0.0),
+        "total_large_clusters": float(sum(l.large_clusters for l in levels)),
+    }

@@ -1,0 +1,52 @@
+"""Stretch statistics for spanner evaluations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.rng import SeedLike
+from repro.spanners.result import SpannerResult
+from repro.spanners.verify import edge_stretches
+
+
+@dataclass(frozen=True)
+class StretchSummary:
+    """Distributional summary of per-edge stretch."""
+
+    max: float
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    n_measured: int
+
+    def row(self) -> dict:
+        return {
+            "stretch_max": self.max,
+            "stretch_mean": self.mean,
+            "stretch_p95": self.p95,
+        }
+
+
+def stretch_summary(
+    g: CSRGraph,
+    spanner: SpannerResult | CSRGraph,
+    sample_edges: Optional[int] = None,
+    seed: SeedLike = None,
+) -> StretchSummary:
+    """Measure stretch over (a sample of) g's edges."""
+    s = edge_stretches(g, spanner, sample_edges=sample_edges, seed=seed)
+    if s.size == 0:
+        return StretchSummary(1.0, 1.0, 1.0, 1.0, 1.0, 0)
+    return StretchSummary(
+        max=float(s.max()),
+        mean=float(s.mean()),
+        p50=float(np.percentile(s, 50)),
+        p95=float(np.percentile(s, 95)),
+        p99=float(np.percentile(s, 99)),
+        n_measured=int(s.size),
+    )

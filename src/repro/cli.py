@@ -1,0 +1,212 @@
+"""Command-line interface: ``python -m repro.cli <command> ...``.
+
+Commands
+--------
+``spanner``
+    Build a spanner of a generated or loaded graph; print size, stretch,
+    and the PRAM ledger; optionally save the spanner as an edge list.
+``hopset``
+    Build a hopset and answer s-t queries.
+``cluster``
+    Run one EST clustering and print its statistics.
+``generate``
+    Emit a synthetic graph as an edge list.
+
+Examples::
+
+    python -m repro.cli generate --kind grid --rows 30 --cols 30 -o g.txt
+    python -m repro.cli spanner -i g.txt -k 3 --seed 1
+    python -m repro.cli hopset -i g.txt --query 0 899
+    python -m repro.cli cluster -i g.txt --beta 0.2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+import numpy as np
+
+from repro.graph import (
+    barabasi_albert_graph,
+    gnm_random_graph,
+    grid_graph,
+    random_geometric_graph,
+    with_random_weights,
+)
+from repro.graph.io import load_edgelist, save_edgelist
+from repro.pram import PramTracker
+
+
+def _load_graph(args) -> "object":
+    if args.input:
+        return load_edgelist(args.input)
+    return gnm_random_graph(args.n, args.m, seed=args.seed, connected=True)
+
+
+def _add_io_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("-i", "--input", help="edge list file (otherwise a G(n,m) is generated)")
+    p.add_argument("--n", type=int, default=1000, help="vertices for generated input")
+    p.add_argument("--m", type=int, default=5000, help="edges for generated input")
+    p.add_argument("--seed", type=int, default=0)
+
+
+def cmd_generate(args) -> int:
+    if args.kind == "grid":
+        g = grid_graph(args.rows, args.cols)
+    elif args.kind == "gnm":
+        g = gnm_random_graph(args.n, args.m, seed=args.seed, connected=True)
+    elif args.kind == "ba":
+        g = barabasi_albert_graph(args.n, 3, seed=args.seed)
+    elif args.kind == "rgg":
+        g = random_geometric_graph(args.n, args.radius, seed=args.seed)
+    else:
+        print(f"unknown kind {args.kind}", file=sys.stderr)
+        return 2
+    if args.weights:
+        g = with_random_weights(g, 1.0, args.max_weight, "loguniform", seed=args.seed + 1)
+    save_edgelist(g, args.output)
+    print(f"wrote {args.output}: n={g.n} m={g.m}")
+    return 0
+
+
+def cmd_spanner(args) -> int:
+    from repro.spanners import max_edge_stretch, unweighted_spanner, weighted_spanner
+
+    g = _load_graph(args)
+    t = PramTracker(n=g.n)
+    if g.is_unweighted:
+        sp = unweighted_spanner(g, args.k, seed=args.seed, tracker=t)
+    else:
+        sp = weighted_spanner(g, args.k, seed=args.seed, tracker=t)
+    stretch = max_edge_stretch(g, sp, sample_edges=min(g.m, 2000), seed=1)
+    print(f"graph: n={g.n} m={g.m} {'unweighted' if g.is_unweighted else 'weighted'}")
+    print(f"spanner: {sp.size} edges ({100 * sp.size / max(g.m, 1):.1f}% kept)")
+    print(f"stretch: measured {stretch:.2f}, certified {sp.stretch_bound:.0f}")
+    print(f"pram: work={t.work} depth={t.depth}")
+    if args.output:
+        save_edgelist(sp.subgraph(), args.output)
+        print(f"wrote spanner to {args.output}")
+    return 0
+
+
+def cmd_hopset(args) -> int:
+    from repro.hopsets import HopsetParams, build_hopset, exact_distance, hopset_distance
+
+    g = _load_graph(args)
+    params = HopsetParams(epsilon=args.epsilon, delta=1.5, gamma1=0.15, gamma2=0.5)
+    t = PramTracker(n=g.n)
+    hs = build_hopset(g, params, seed=args.seed, tracker=t)
+    print(f"graph: n={g.n} m={g.m}")
+    print(f"hopset: {hs.size} edges ({hs.star_count} star, {hs.clique_count} clique)")
+    print(f"pram: work={t.work} depth={t.depth}")
+    if args.query:
+        s, tt = args.query
+        true = exact_distance(g, s, tt)
+        est, hops = hopset_distance(hs, s, tt)
+        print(f"query {s}->{tt}: exact={true} estimate={est} ({est / max(true, 1e-12):.4f}x) hops={hops}")
+    return 0
+
+
+def cmd_connectivity(args) -> int:
+    from repro.graph import connected_components
+    from repro.graph.parallel_connectivity import parallel_connectivity
+
+    g = _load_graph(args)
+    t = PramTracker(n=g.n)
+    ncc, labels, rounds = parallel_connectivity(g, beta=args.beta, seed=args.seed, tracker=t)
+    ncc_ref, _ = connected_components(g, method="scipy")
+    print(f"graph: n={g.n} m={g.m}")
+    print(f"components: {ncc} (oracle {ncc_ref}, {'match' if ncc == ncc_ref else 'MISMATCH'})")
+    print(f"contraction rounds: {rounds}")
+    print(f"pram: work={t.work} depth={t.depth}")
+    return 0 if ncc == ncc_ref else 1
+
+
+def cmd_sparsify(args) -> int:
+    from repro.graph import is_connected
+    from repro.spanners.sparsify import spanner_sparsify
+
+    g = _load_graph(args)
+    res = spanner_sparsify(g, k=args.k, bundle=args.bundle, rounds=args.rounds, seed=args.seed)
+    print(f"graph: n={g.n} m={g.m}")
+    print(f"size trajectory: {res.sizes}")
+    print(f"final: {res.graph.m} edges ({100 * res.graph.m / max(g.m, 1):.1f}%), "
+          f"connected={is_connected(res.graph)}")
+    if args.output:
+        save_edgelist(res.graph, args.output)
+        print(f"wrote sparsifier to {args.output}")
+    return 0
+
+
+def cmd_cluster(args) -> int:
+    from repro.clustering import cluster_radii, cut_fraction, est_cluster
+
+    g = _load_graph(args)
+    c = est_cluster(g, args.beta, seed=args.seed)
+    radii = cluster_radii(c)
+    print(f"graph: n={g.n} m={g.m}")
+    print(f"clusters: {c.num_clusters} (sizes: max={int(c.sizes.max())}, median={int(np.median(c.sizes))})")
+    print(f"max radius: {radii.max():.1f} (Lemma 2.1 bound {2 * np.log(max(g.n, 2)) / args.beta:.1f})")
+    print(f"cut fraction: {cut_fraction(g, c):.4f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(prog="repro", description=__doc__.splitlines()[0])
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="emit a synthetic graph")
+    p.add_argument("--kind", choices=["grid", "gnm", "ba", "rgg"], default="gnm")
+    p.add_argument("--rows", type=int, default=30)
+    p.add_argument("--cols", type=int, default=30)
+    p.add_argument("--n", type=int, default=1000)
+    p.add_argument("--m", type=int, default=5000)
+    p.add_argument("--radius", type=float, default=0.05)
+    p.add_argument("--weights", action="store_true", help="attach log-uniform weights")
+    p.add_argument("--max-weight", type=float, default=1024.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(fn=cmd_generate)
+
+    p = sub.add_parser("spanner", help="build a spanner")
+    _add_io_args(p)
+    p.add_argument("-k", type=float, default=3.0, help="stretch parameter")
+    p.add_argument("-o", "--output", help="write the spanner edge list here")
+    p.set_defaults(fn=cmd_spanner)
+
+    p = sub.add_parser("hopset", help="build a hopset (and query)")
+    _add_io_args(p)
+    p.add_argument("--epsilon", type=float, default=0.5)
+    p.add_argument("--query", type=int, nargs=2, metavar=("S", "T"))
+    p.set_defaults(fn=cmd_hopset)
+
+    p = sub.add_parser("cluster", help="run one EST clustering")
+    _add_io_args(p)
+    p.add_argument("--beta", type=float, default=0.2)
+    p.set_defaults(fn=cmd_cluster)
+
+    p = sub.add_parser("connectivity", help="parallel connectivity by EST contraction")
+    _add_io_args(p)
+    p.add_argument("--beta", type=float, default=0.2)
+    p.set_defaults(fn=cmd_connectivity)
+
+    p = sub.add_parser("sparsify", help="iterated spanner-peeling sparsification")
+    _add_io_args(p)
+    p.add_argument("-k", type=float, default=3.0)
+    p.add_argument("--bundle", type=int, default=2)
+    p.add_argument("--rounds", type=int, default=3)
+    p.add_argument("-o", "--output", help="write the sparsifier edge list here")
+    p.set_defaults(fn=cmd_sparsify)
+
+    return ap
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

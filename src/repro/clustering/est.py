@@ -1,0 +1,187 @@
+"""Exponential Start Time clustering (Algorithm 1).
+
+``ESTCluster(G, beta)``: draw ``delta_u ~ Exp(beta)`` per vertex and
+assign ``v`` to ``argmin_u dist(u, v) - delta_u``; the winner's
+shortest-path tree restricted to its cluster is the certifying spanning
+tree.  Equivalently (Appendix A) it is a race: vertex ``u`` starts at
+time ``delta_max - delta_u`` and floods the graph at unit speed; each
+vertex joins the first wave to arrive.
+
+The returned :class:`Clustering` carries everything downstream
+algorithms need: per-vertex center, forest parent, tree distance to the
+center, and the shifts (for reproducibility and diagnostics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.graph.csr import CSRGraph
+from repro.paths.bfs import bfs_with_start_times
+from repro.paths.dijkstra import dijkstra
+from repro.paths.weighted_bfs import weighted_bfs_with_start_times
+from repro.paths.trees import tree_depths
+from repro.pram.tracker import PramTracker, null_tracker
+from repro.rng import SeedLike, resolve_rng
+from repro.clustering.shifts import sample_shifts
+
+
+@dataclass(frozen=True)
+class Clustering:
+    """Result of EST clustering.
+
+    Attributes
+    ----------
+    center:
+        ``int64[n]`` — the center vertex owning each vertex.  Every
+        vertex is owned (centers own themselves).
+    parent:
+        ``int64[n]`` — spanning-forest parent; -1 at centers.  Each
+        cluster's tree is rooted at its center.
+    dist_to_center:
+        ``float64[n]`` — distance from the center along the tree.
+    shifts:
+        The sampled ``delta_u`` (diagnostics/tests).
+    beta:
+        The decomposition parameter used.
+    rounds:
+        Number of synchronous rounds the race took (0 in exact mode
+        unless a tracker measured it).
+    """
+
+    center: np.ndarray
+    parent: np.ndarray
+    dist_to_center: np.ndarray
+    shifts: np.ndarray
+    beta: float
+    rounds: int = 0
+
+    @property
+    def n(self) -> int:
+        return int(self.center.shape[0])
+
+    @cached_property
+    def centers(self) -> np.ndarray:
+        """Sorted unique center vertex ids."""
+        return np.unique(self.center)
+
+    @property
+    def num_clusters(self) -> int:
+        return int(self.centers.shape[0])
+
+    @cached_property
+    def labels(self) -> np.ndarray:
+        """Compact cluster labels in [0, num_clusters)."""
+        _, lab = np.unique(self.center, return_inverse=True)
+        return lab.astype(np.int64)
+
+    @cached_property
+    def sizes(self) -> np.ndarray:
+        """Cluster sizes indexed by compact label."""
+        return np.bincount(self.labels, minlength=self.num_clusters)
+
+    def members(self, label: int) -> np.ndarray:
+        """Vertex ids in the cluster with compact label ``label``."""
+        return np.flatnonzero(self.labels == label)
+
+    def forest_edges(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(child, parent) arrays of all forest edges."""
+        child = np.flatnonzero(self.parent >= 0)
+        return child, self.parent[child]
+
+    def tree_radii(self) -> np.ndarray:
+        """Max tree distance from center, per compact label (the certified radius)."""
+        radii = np.zeros(self.num_clusters, dtype=np.float64)
+        np.maximum.at(radii, self.labels, self.dist_to_center)
+        return radii
+
+
+def est_cluster(
+    g: CSRGraph,
+    beta: float,
+    seed: SeedLike = None,
+    method: str = "auto",
+    tracker: Optional[PramTracker] = None,
+    shifts: Optional[np.ndarray] = None,
+) -> Clustering:
+    """Run EST clustering on ``g`` with parameter ``beta``.
+
+    Parameters
+    ----------
+    method:
+        ``"exact"`` — Dijkstra race with real shifts (the definition);
+        ``"round"`` — round-synchronous race on quantized shifts
+        (unweighted BFS, or Dial buckets when weights are integers);
+        ``"auto"`` — ``round`` for unweighted graphs, ``exact`` otherwise.
+    shifts:
+        Pre-drawn shifts (tests/coupling experiments); drawn from
+        ``seed`` if omitted.
+    """
+    if beta <= 0 or not np.isfinite(beta):
+        raise ParameterError(f"beta must be a positive float, got {beta}")
+    tracker = tracker or null_tracker()
+    n = g.n
+    if shifts is None:
+        shifts = sample_shifts(n, beta, seed)
+    else:
+        shifts = np.asarray(shifts, dtype=np.float64)
+        if shifts.shape[0] != n:
+            raise ParameterError("shifts must have length n")
+
+    if method == "auto":
+        method = "round" if g.is_unweighted else "exact"
+    if method not in ("exact", "round"):
+        raise ParameterError(f"unknown method {method!r}")
+
+    delta_max = float(shifts.max()) if n else 0.0
+    start_real = delta_max - shifts  # >= 0
+
+    if method == "exact":
+        with tracker.phase("est_exact"):
+            dist, parent, owner = dijkstra(g, np.arange(n), offsets=start_real)
+            # ledger: model the race as a level-synchronous search over
+            # ceil(max arrival) unit-length levels of O(m) total work.
+            levels = int(np.ceil(dist.max())) + 1 if n else 0
+            tracker.parallel_round(work=2 * g.m + n, rounds=max(levels, 1))
+        dist_to_center = dist - start_real[owner]
+        rounds = 0
+    else:
+        start_int = np.floor(start_real).astype(np.int64)
+        if g.is_unweighted:
+            with tracker.phase("est_round"):
+                arrival, dist_hops, parent, owner = bfs_with_start_times(
+                    g,
+                    start_time=start_int,
+                    source_ids=np.arange(n, dtype=np.int64),
+                    priority=start_real,  # fractional tie-break
+                    tracker=tracker,
+                )
+            dist_to_center = dist_hops.astype(np.float64)
+            rounds = int(arrival.max()) + 1 if n else 0
+        else:
+            w_int = g.weights.astype(np.int64)
+            if not np.array_equal(w_int.astype(np.float64), g.weights):
+                raise ParameterError(
+                    "round method on weighted graphs requires integer weights; "
+                    "use method='exact' or round the weights first"
+                )
+            with tracker.phase("est_round"):
+                sdist, parent, owner, levels = weighted_bfs_with_start_times(
+                    g, start_time=start_int, weights_int=w_int, tracker=tracker
+                )
+            dist_to_center = (sdist - start_int[owner]).astype(np.float64)
+            rounds = levels
+
+    return Clustering(
+        center=owner,
+        parent=parent,
+        dist_to_center=dist_to_center,
+        shifts=shifts,
+        beta=float(beta),
+        rounds=rounds,
+    )

@@ -1,0 +1,38 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything coming out of this package with a single ``except``
+clause while still letting programming errors (``TypeError`` etc.)
+propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphFormatError(ReproError):
+    """Raised when graph construction inputs are malformed.
+
+    Examples: negative vertex ids, edge arrays of mismatched length,
+    non-positive edge weights where positivity is required.
+    """
+
+
+class NotConnectedError(ReproError):
+    """Raised by routines that require a connected input graph."""
+
+
+class ParameterError(ReproError):
+    """Raised when an algorithm parameter is out of its valid range."""
+
+
+class VerificationError(ReproError):
+    """Raised when a verifier detects a violated invariant.
+
+    The verifiers in :mod:`repro.spanners.verify` and
+    :mod:`repro.graph.validation` raise this instead of ``assert`` so
+    that invariant checking works under ``python -O`` as well.
+    """

@@ -1,0 +1,12 @@
+"""Experiment harness: seeded repetition, aggregation, table rendering.
+
+One :class:`~repro.exp.harness.Experiment` per paper artifact; the
+:mod:`~repro.exp.experiments` registry maps experiment ids (``fig1-unw``,
+``lemma22``, ...) to runnable closures so benchmarks, examples, and the
+EXPERIMENTS.md generator all share one implementation.
+"""
+
+from repro.exp.harness import Experiment, Trial, run_trials, aggregate
+from repro.exp.tables import Table, format_table
+
+__all__ = ["Experiment", "Trial", "run_trials", "aggregate", "Table", "format_table"]

@@ -1,0 +1,191 @@
+"""Experiment registry: one entry per paper artifact.
+
+Maps experiment ids (``fig1-unw``, ``lemma22``, ...) to self-contained
+callables that run a scaled-down version of the corresponding benchmark
+and return a :class:`~repro.exp.tables.Table`.  Used by tests and by
+interactive exploration; the benchmark suite remains the authoritative
+(larger-scale) regeneration path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.exp.tables import Table
+
+Runner = Callable[[int], Table]
+
+_REGISTRY: Dict[str, Runner] = {}
+
+
+def register(exp_id: str) -> Callable[[Runner], Runner]:
+    def deco(fn: Runner) -> Runner:
+        if exp_id in _REGISTRY:
+            raise ValueError(f"duplicate experiment id {exp_id!r}")
+        _REGISTRY[exp_id] = fn
+        return fn
+
+    return deco
+
+
+def experiment_ids() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def run_experiment(exp_id: str, seed: int = 0) -> Table:
+    try:
+        fn = _REGISTRY[exp_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; known: {', '.join(experiment_ids())}"
+        ) from None
+    return fn(seed)
+
+
+# ----------------------------------------------------------------------
+# registered experiments (scaled-down versions of the bench suite)
+# ----------------------------------------------------------------------
+@register("fig1-unw")
+def _fig1_unw(seed: int) -> Table:
+    from repro.graph import gnm_random_graph
+    from repro.pram import PramTracker
+    from repro.spanners import baswana_sen_spanner, max_edge_stretch, unweighted_spanner
+
+    g = gnm_random_graph(400, 2400, seed=seed, connected=True)
+    t = Table(title="Figure 1 (unweighted, scaled)", columns=["k", "alg", "size", "stretch", "work"])
+    for k in (2, 4):
+        tr = PramTracker(n=g.n)
+        sp = unweighted_spanner(g, k, seed=seed + k, tracker=tr)
+        t.add(k=k, alg="EST", size=sp.size, stretch=max_edge_stretch(g, sp), work=tr.work)
+        tr2 = PramTracker(n=g.n)
+        bs = baswana_sen_spanner(g, k, seed=seed + k, tracker=tr2)
+        t.add(k=k, alg="BS07", size=bs.size, stretch=max_edge_stretch(g, bs), work=tr2.work)
+    return t
+
+
+@register("fig2")
+def _fig2(seed: int) -> Table:
+    from repro.analysis import hop_reduction_summary
+    from repro.graph import grid_graph
+    from repro.hopsets import HopsetParams, build_hopset, ks97_hopset
+    from repro.pram import PramTracker
+
+    g = grid_graph(20, 20)
+    params = HopsetParams(epsilon=0.5, delta=1.5, gamma1=0.15, gamma2=0.5)
+    t = Table(title="Figure 2 (scaled)", columns=["alg", "size", "work", "mean_hops"])
+    tr = PramTracker(n=g.n)
+    hs = build_hopset(g, params, seed=seed, tracker=tr)
+    t.add(alg="EST", size=hs.size, work=tr.work,
+          mean_hops=hop_reduction_summary(hs, n_pairs=5, seed=seed).mean_hopset_hops)
+    tr2 = PramTracker(n=g.n)
+    ks = ks97_hopset(g, seed=seed, tracker=tr2)
+    t.add(alg="KS97", size=ks.size, work=tr2.work,
+          mean_hops=hop_reduction_summary(ks, n_pairs=5, seed=seed).mean_hopset_hops)
+    return t
+
+
+@register("lemma21")
+def _lemma21(seed: int) -> Table:
+    from repro.analysis import theory
+    from repro.clustering import cluster_radii, est_cluster
+    from repro.graph import gnm_random_graph
+
+    g = gnm_random_graph(300, 1500, seed=seed, connected=True)
+    t = Table(title="Lemma 2.1 (scaled)", columns=["beta", "max_radius", "bound"])
+    for beta in (0.1, 0.4):
+        worst = max(
+            float(cluster_radii(est_cluster(g, beta, seed=seed + i)).max())
+            for i in range(4)
+        )
+        t.add(beta=beta, max_radius=worst, bound=theory.lemma21_radius_bound(g.n, beta))
+    return t
+
+
+@register("cor23")
+def _cor23(seed: int) -> Table:
+    from repro.clustering.diagnostics import empirical_cut_probability
+    from repro.graph import grid_graph
+
+    g = grid_graph(16, 16)
+    t = Table(title="Corollary 2.3 (scaled)", columns=["beta", "cut_freq", "bound"])
+    for beta in (0.1, 0.3):
+        freq, bound = empirical_cut_probability(g, beta, trials=8, seed=seed, method="exact")
+        t.add(beta=beta, cut_freq=float(freq.mean()), bound=float(bound.mean()))
+    return t
+
+
+@register("lemma43")
+def _lemma43(seed: int) -> Table:
+    from repro.analysis import theory
+    from repro.graph import grid_graph
+    from repro.hopsets import HopsetParams, build_hopset
+
+    params = HopsetParams(epsilon=0.5, delta=1.5, gamma1=0.15, gamma2=0.5)
+    t = Table(title="Lemma 4.3 (scaled)", columns=["n", "stars", "cliques", "clique_bound"])
+    for side in (12, 20):
+        g = grid_graph(side, side)
+        hs = build_hopset(g, params, seed=seed)
+        t.add(n=g.n, stars=hs.star_count, cliques=hs.clique_count,
+              clique_bound=theory.lemma43_clique_bound(g.n, params.n_final(g.n), params.rho(g.n)))
+    return t
+
+
+@register("appxB")
+def _appxB(seed: int) -> Table:
+    from repro.graph import hard_weight_graph
+    from repro.hopsets import build_weight_scales
+
+    g = hard_weight_graph(150, 450, n_scales=3, seed=seed)
+    dec = build_weight_scales(g, eps=0.25)
+    t = Table(title="Appendix B (scaled)", columns=["levels", "piece_edges", "bound_3m"])
+    t.add(levels=dec.num_levels, piece_edges=dec.total_piece_edges(), bound_3m=3 * g.m)
+    return t
+
+
+@register("sdb14")
+def _sdb14(seed: int) -> Table:
+    from repro.graph import connected_components, gnm_random_graph
+    from repro.graph.parallel_connectivity import parallel_connectivity
+
+    g = gnm_random_graph(500, 3000, seed=seed)
+    ncc, _, rounds = parallel_connectivity(g, seed=seed + 1)
+    ncc_ref, _ = connected_components(g, method="scipy")
+    t = Table(title="[SDB14] connectivity (scaled)", columns=["components", "oracle", "rounds"])
+    t.add(components=ncc, oracle=ncc_ref, rounds=rounds)
+    return t
+
+
+@register("kou14")
+def _kou14(seed: int) -> Table:
+    from repro.graph import gnm_random_graph, is_connected
+    from repro.spanners.sparsify import spanner_sparsify
+
+    g = gnm_random_graph(400, 6000, seed=seed, connected=True)
+    res = spanner_sparsify(g, k=3, bundle=2, rounds=3, seed=seed + 1)
+    t = Table(title="[Kou14] sparsification (scaled)", columns=["round", "edges"])
+    for r, m in enumerate(res.sizes):
+        t.add(round=r, edges=m)
+    assert is_connected(res.graph)
+    return t
+
+
+@register("akpw")
+def _akpw(seed: int) -> Table:
+    from repro.graph import gnm_random_graph, with_random_weights
+    from repro.spanners.low_stretch_tree import (
+        average_stretch,
+        bfs_tree,
+        low_stretch_spanning_tree,
+    )
+
+    g = with_random_weights(
+        gnm_random_graph(300, 1800, seed=seed, connected=True),
+        1, 256, "loguniform", seed=seed + 1,
+    )
+    t = Table(title="[AKPW] low-stretch trees (scaled)", columns=["tree", "avg_stretch"])
+    t.add(tree="EST contraction", avg_stretch=average_stretch(
+        g, low_stretch_spanning_tree(g, k=4, seed=seed + 2)))
+    t.add(tree="BFS", avg_stretch=average_stretch(g, bfs_tree(g)))
+    return t

@@ -1,0 +1,59 @@
+"""Seeded repetition and aggregation for experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.rng import resolve_rng
+
+
+@dataclass
+class Trial:
+    """One run's scalar measurements."""
+
+    values: Dict[str, float]
+
+
+@dataclass
+class Experiment:
+    """A named, repeatable experiment.
+
+    ``fn(seed) -> Dict[str, float]`` runs one trial; the harness feeds
+    it derived seeds and aggregates the scalar outputs.
+    """
+
+    name: str
+    fn: Callable[[int], Dict[str, float]]
+    repetitions: int = 3
+    base_seed: int = 20150625  # the paper's arXiv v3 date
+
+    def run(self) -> List[Trial]:
+        return run_trials(self.fn, self.repetitions, self.base_seed)
+
+
+def run_trials(
+    fn: Callable[[int], Dict[str, float]], repetitions: int, base_seed: int = 0
+) -> List[Trial]:
+    """Run ``fn`` with seeds derived from ``base_seed``; collect trials."""
+    rng = resolve_rng(base_seed)
+    seeds = rng.integers(0, 2**31 - 1, size=repetitions)
+    return [Trial(values=dict(fn(int(s)))) for s in seeds]
+
+
+def aggregate(trials: Sequence[Trial]) -> Dict[str, Dict[str, float]]:
+    """Per-key mean/min/max/std across trials."""
+    keys = sorted({k for t in trials for k in t.values})
+    out: Dict[str, Dict[str, float]] = {}
+    for k in keys:
+        vals = np.asarray([t.values[k] for t in trials if k in t.values], dtype=np.float64)
+        out[k] = {
+            "mean": float(vals.mean()),
+            "min": float(vals.min()),
+            "max": float(vals.max()),
+            "std": float(vals.std()),
+            "n": int(vals.size),
+        }
+    return out

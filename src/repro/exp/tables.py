@@ -1,0 +1,57 @@
+"""Fixed-width table rendering in the style of the paper's figures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+
+def _fmt(v: Any) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1e5 or abs(v) < 1e-3:
+            return f"{v:.3g}"
+        if abs(v) >= 100:
+            return f"{v:.0f}"
+        return f"{v:.3g}"
+    return str(v)
+
+
+@dataclass
+class Table:
+    """Column-ordered table with append-row convenience."""
+
+    title: str
+    columns: List[str]
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+
+    def add(self, **kw: Any) -> None:
+        self.rows.append(kw)
+
+    def render(self) -> str:
+        return format_table(self.title, self.columns, self.rows)
+
+    def to_markdown(self) -> str:
+        head = "| " + " | ".join(self.columns) + " |"
+        sep = "|" + "|".join("---" for _ in self.columns) + "|"
+        body = [
+            "| " + " | ".join(_fmt(r.get(c, "")) for c in self.columns) + " |"
+            for r in self.rows
+        ]
+        return "\n".join([f"### {self.title}", "", head, sep, *body])
+
+
+def format_table(title: str, columns: Sequence[str], rows: Sequence[Dict[str, Any]]) -> str:
+    """Render rows as an aligned fixed-width text table."""
+    cells = [[_fmt(r.get(c, "")) for c in columns] for r in rows]
+    widths = [
+        max(len(c), *(len(row[i]) for row in cells)) if cells else len(c)
+        for i, c in enumerate(columns)
+    ]
+    lines = [title, "-" * len(title)]
+    lines.append("  ".join(c.ljust(w) for c, w in zip(columns, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,76 @@
+"""Graph substrate: CSR graphs, generators, contraction, components.
+
+This subpackage is the foundation every algorithm in the reproduction
+builds on.  The central type is :class:`~repro.graph.csr.CSRGraph`, an
+immutable numpy-backed compressed-sparse-row adjacency structure with
+edge-id tracking (needed by the spanner algorithms, which must report
+*original* edge ids through arbitrary chains of contractions).
+"""
+
+from repro.graph.csr import CSRGraph
+from repro.graph.builders import (
+    from_edges,
+    from_networkx,
+    to_networkx,
+    induced_subgraph,
+    relabel_compact,
+)
+from repro.graph.unionfind import UnionFind
+from repro.graph.quotient import quotient_graph, QuotientResult
+from repro.graph.components import connected_components, is_connected, largest_component
+from repro.graph.parallel_connectivity import parallel_connectivity, edges_decay_trajectory
+from repro.graph.metrics import (
+    degree_stats,
+    double_sweep_diameter,
+    eccentricity,
+    sampled_eccentricities,
+)
+from repro.graph.generators import (
+    gnm_random_graph,
+    grid_graph,
+    torus_graph,
+    path_graph,
+    cycle_graph,
+    star_graph,
+    complete_graph,
+    random_tree,
+    barabasi_albert_graph,
+    watts_strogatz_graph,
+    random_geometric_graph,
+    with_random_weights,
+    hard_weight_graph,
+)
+
+__all__ = [
+    "CSRGraph",
+    "from_edges",
+    "from_networkx",
+    "to_networkx",
+    "induced_subgraph",
+    "relabel_compact",
+    "UnionFind",
+    "quotient_graph",
+    "QuotientResult",
+    "connected_components",
+    "is_connected",
+    "largest_component",
+    "parallel_connectivity",
+    "edges_decay_trajectory",
+    "degree_stats",
+    "double_sweep_diameter",
+    "eccentricity",
+    "sampled_eccentricities",
+    "gnm_random_graph",
+    "grid_graph",
+    "torus_graph",
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "complete_graph",
+    "random_tree",
+    "barabasi_albert_graph",
+    "watts_strogatz_graph",
+    "random_geometric_graph",
+    "with_random_weights",
+    "hard_weight_graph",
+]

@@ -1,0 +1,162 @@
+"""Graph construction from raw edge lists and other representations.
+
+:func:`from_edges` is the canonical entry point: it accepts any
+``(u, v[, w])`` arrays, canonicalizes orientation, drops self loops,
+merges parallel edges by *minimum* weight (the convention the paper
+uses when contracting: "merging parallel edges by keeping the shortest
+edge"), and validates.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.csr import CSRGraph, build_csr
+
+
+def from_edges(
+    n: int,
+    edges: Iterable[Tuple[int, int]] | np.ndarray,
+    weights: Optional[Sequence[float] | np.ndarray] = None,
+) -> CSRGraph:
+    """Build a :class:`CSRGraph` on ``n`` vertices from an edge list.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices; vertex ids must lie in ``[0, n)``.
+    edges:
+        Iterable of ``(u, v)`` pairs or an ``(m, 2)`` integer array.
+        Self loops are dropped; parallel edges are merged keeping the
+        minimum weight.
+    weights:
+        Optional per-edge positive weights; defaults to all-ones
+        (unweighted graph).
+    """
+    arr = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges)
+    if arr.size == 0:
+        arr = np.empty((0, 2), dtype=np.int64)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise GraphFormatError(f"edges must be (m, 2), got shape {arr.shape}")
+    if not np.issubdtype(arr.dtype, np.integer):
+        raise GraphFormatError("edge endpoints must be integers")
+    u = arr[:, 0].astype(np.int64)
+    v = arr[:, 1].astype(np.int64)
+    if weights is None:
+        w = np.ones(u.shape[0], dtype=np.float64)
+    else:
+        w = np.asarray(weights, dtype=np.float64)
+        if w.shape[0] != u.shape[0]:
+            raise GraphFormatError("weights length must match edge count")
+    if n < 0:
+        raise GraphFormatError("n must be non-negative")
+    if u.size:
+        lo = min(u.min(), v.min())
+        hi = max(u.max(), v.max())
+        if lo < 0 or hi >= n:
+            raise GraphFormatError(f"vertex id out of range [0, {n}): saw [{lo}, {hi}]")
+        if (w <= 0).any():
+            raise GraphFormatError("edge weights must be strictly positive")
+
+    # drop self loops
+    keep = u != v
+    u, v, w = u[keep], v[keep], w[keep]
+
+    # canonical orientation u < v
+    swap = u > v
+    u2 = np.where(swap, v, u)
+    v2 = np.where(swap, u, v)
+
+    # merge parallel edges by minimum weight: sort by (u, v, w) and keep
+    # the first representative of each (u, v) run.
+    if u2.size:
+        order = np.lexsort((w, v2, u2))
+        u2, v2, w = u2[order], v2[order], w[order]
+        first = np.empty(u2.shape[0], dtype=bool)
+        first[0] = True
+        np.not_equal(u2[1:], u2[:-1], out=first[1:])
+        first[1:] |= v2[1:] != v2[:-1]
+        u2, v2, w = u2[first], v2[first], w[first]
+
+    return build_csr(n, u2, v2, w)
+
+
+def from_networkx(G) -> CSRGraph:
+    """Convert an (undirected) networkx graph; nodes are relabeled 0..n-1.
+
+    ``weight`` edge attributes are honored; missing weights default to 1.
+    """
+    nodes = list(G.nodes())
+    index = {u: i for i, u in enumerate(nodes)}
+    edges = []
+    weights = []
+    for a, b, data in G.edges(data=True):
+        edges.append((index[a], index[b]))
+        weights.append(float(data.get("weight", 1.0)))
+    return from_edges(len(nodes), np.asarray(edges, dtype=np.int64).reshape(-1, 2), weights)
+
+
+def to_networkx(g: CSRGraph):
+    """Convert to a networkx Graph (tests / visualization only)."""
+    import networkx as nx
+
+    G = nx.Graph()
+    G.add_nodes_from(range(g.n))
+    for i in range(g.m):
+        G.add_edge(int(g.edge_u[i]), int(g.edge_v[i]), weight=float(g.edge_w[i]))
+    return G
+
+
+def induced_subgraph(g: CSRGraph, vertices: np.ndarray) -> Tuple[CSRGraph, np.ndarray]:
+    """Induced subgraph on ``vertices`` with compact relabeling.
+
+    Returns ``(subgraph, vertex_map)`` where ``vertex_map[i]`` is the
+    original id of subgraph vertex ``i``.  Fully vectorized: a scatter
+    into an ``n``-sized label table, then a mask over the edge list.
+    """
+    vertices = np.asarray(vertices, dtype=np.int64)
+    label = np.full(g.n, -1, dtype=np.int64)
+    label[vertices] = np.arange(vertices.shape[0], dtype=np.int64)
+    lu = label[g.edge_u]
+    lv = label[g.edge_v]
+    keep = (lu >= 0) & (lv >= 0)
+    sub = build_subgraph_from_mask(g, keep, vertices.shape[0], lu, lv)
+    return sub, vertices
+
+
+def build_subgraph_from_mask(
+    g: CSRGraph,
+    edge_mask: np.ndarray,
+    n_sub: int,
+    lu: np.ndarray,
+    lv: np.ndarray,
+) -> CSRGraph:
+    """Internal helper: subgraph from a boolean edge mask + relabeled endpoints."""
+    from repro.graph.csr import build_csr
+
+    return build_csr(n_sub, lu[edge_mask], lv[edge_mask], g.edge_w[edge_mask])
+
+
+def relabel_compact(
+    n: int, edge_u: np.ndarray, edge_v: np.ndarray
+) -> Tuple[int, np.ndarray, np.ndarray, np.ndarray]:
+    """Compact the vertex id space to the ids actually used.
+
+    Returns ``(n_new, new_u, new_v, old_ids)`` with ``old_ids[i]`` the
+    original id of new vertex ``i``.
+    """
+    used = np.unique(np.concatenate([edge_u, edge_v])) if edge_u.size else np.empty(0, np.int64)
+    label = np.full(n, -1, dtype=np.int64)
+    label[used] = np.arange(used.shape[0], dtype=np.int64)
+    return int(used.shape[0]), label[edge_u], label[edge_v], used
+
+
+def subgraph_by_edge_ids(g: CSRGraph, edge_ids: np.ndarray) -> CSRGraph:
+    """Subgraph of ``g`` on the same vertex set keeping only ``edge_ids``."""
+    edge_ids = np.asarray(edge_ids, dtype=np.int64)
+    from repro.graph.csr import build_csr
+
+    return build_csr(g.n, g.edge_u[edge_ids], g.edge_v[edge_ids], g.edge_w[edge_ids])

@@ -1,0 +1,208 @@
+"""Immutable CSR (compressed sparse row) graph.
+
+Design notes
+------------
+The paper's algorithms are all *edge-centric* parallel algorithms: each
+PRAM round touches every edge of a frontier with vectorizable work.  The
+natural Python substrate is therefore a struct-of-arrays CSR layout:
+
+``indptr``
+    ``int64[n+1]`` — half-open neighbor ranges per vertex.
+``indices``
+    ``int32/int64[2m]`` — neighbor vertex ids (both directions stored,
+    i.e. the symmetric adjacency of an undirected graph).
+``weights``
+    ``float64[2m]`` — per-direction edge weights.
+``edge_ids``
+    ``int64[2m]`` — for CSR slot ``j``, the id of the *undirected* edge
+    it came from (both directions share one id).  This is what lets the
+    weighted spanner algorithm contract quotient graphs repeatedly and
+    still emit original edge ids into the spanner.
+
+All arrays are read-only views (``writeable=False``) so algorithms can
+share a graph across sub-calls without defensive copies — matching the
+"views, not copies" guidance for numerical Python.
+
+The undirected edge list itself is kept as ``edge_u``, ``edge_v``,
+``edge_w`` (each ``m`` long); CSR slots reference it through
+``edge_ids``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+
+
+def _freeze(a: np.ndarray) -> np.ndarray:
+    a = np.ascontiguousarray(a)
+    a.setflags(write=False)
+    return a
+
+
+@dataclass(frozen=True)
+class CSRGraph:
+    """Undirected weighted graph in CSR form with edge-id tracking.
+
+    Construct through :func:`repro.graph.builders.from_edges` rather than
+    directly; the builder deduplicates, symmetrizes, and validates.
+    """
+
+    n: int
+    indptr: np.ndarray
+    indices: np.ndarray
+    weights: np.ndarray
+    edge_ids: np.ndarray
+    edge_u: np.ndarray
+    edge_v: np.ndarray
+    edge_w: np.ndarray
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def m(self) -> int:
+        """Number of undirected edges."""
+        return int(self.edge_u.shape[0])
+
+    @property
+    def num_arcs(self) -> int:
+        """Number of directed CSR slots (2m for simple graphs)."""
+        return int(self.indices.shape[0])
+
+    @property
+    def is_unweighted(self) -> bool:
+        """True when every edge weight equals 1."""
+        return bool(np.all(self.edge_w == 1.0)) if self.m else True
+
+    @property
+    def max_weight(self) -> float:
+        return float(self.edge_w.max()) if self.m else 0.0
+
+    @property
+    def min_weight(self) -> float:
+        return float(self.edge_w.min()) if self.m else 0.0
+
+    @property
+    def weight_ratio(self) -> float:
+        """U = max weight / min weight (1.0 for empty graphs)."""
+        if self.m == 0:
+            return 1.0
+        return self.max_weight / self.min_weight
+
+    def degree(self, v: Optional[int] = None) -> np.ndarray | int:
+        """Degree of vertex ``v``, or the full degree array if ``v`` is None."""
+        if v is None:
+            return np.diff(self.indptr)
+        return int(self.indptr[v + 1] - self.indptr[v])
+
+    # ------------------------------------------------------------------
+    # neighbor access
+    # ------------------------------------------------------------------
+    def neighbors(self, v: int) -> np.ndarray:
+        """Neighbor ids of ``v`` (read-only view)."""
+        return self.indices[self.indptr[v] : self.indptr[v + 1]]
+
+    def neighbor_weights(self, v: int) -> np.ndarray:
+        return self.weights[self.indptr[v] : self.indptr[v + 1]]
+
+    def neighbor_edge_ids(self, v: int) -> np.ndarray:
+        return self.edge_ids[self.indptr[v] : self.indptr[v + 1]]
+
+    def iter_edges(self) -> Iterator[Tuple[int, int, float]]:
+        """Iterate undirected edges as ``(u, v, w)`` tuples (slow path; tests only)."""
+        for i in range(self.m):
+            yield int(self.edge_u[i]), int(self.edge_v[i]), float(self.edge_w[i])
+
+    # ------------------------------------------------------------------
+    # conversions
+    # ------------------------------------------------------------------
+    def edges_array(self) -> np.ndarray:
+        """(m, 2) int array of undirected endpoints."""
+        return np.stack([self.edge_u, self.edge_v], axis=1)
+
+    def to_scipy(self):
+        """Return the symmetric adjacency as ``scipy.sparse.csr_matrix``."""
+        from scipy.sparse import csr_matrix
+
+        return csr_matrix(
+            (self.weights, self.indices, self.indptr), shape=(self.n, self.n)
+        )
+
+    def arc_sources(self) -> np.ndarray:
+        """For each CSR slot, the source vertex (expanded from indptr)."""
+        return np.repeat(np.arange(self.n, dtype=self.indices.dtype), np.diff(self.indptr))
+
+    # ------------------------------------------------------------------
+    # dunder / misc
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "unweighted" if self.is_unweighted else "weighted"
+        return f"CSRGraph(n={self.n}, m={self.m}, {kind})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CSRGraph):
+            return NotImplemented
+        return (
+            self.n == other.n
+            and np.array_equal(self.indptr, other.indptr)
+            and np.array_equal(self.indices, other.indices)
+            and np.array_equal(self.weights, other.weights)
+        )
+
+    def __hash__(self) -> int:  # frozen dataclass wants it; identity is fine
+        return id(self)
+
+
+def build_csr(
+    n: int,
+    edge_u: np.ndarray,
+    edge_v: np.ndarray,
+    edge_w: np.ndarray,
+) -> CSRGraph:
+    """Assemble a :class:`CSRGraph` from *deduplicated* undirected edges.
+
+    The caller guarantees ``edge_u[i] < edge_v[i]`` and no duplicate
+    pairs; use :func:`repro.graph.builders.from_edges` for raw input.
+
+    Assembly is fully vectorized: the symmetric arc list is built by
+    concatenation, then ordered with a stable counting-sort style
+    argsort on the source vertex — O((n + m) log m) in numpy but with
+    C-speed constants, matching the "vectorize the loops" guideline.
+    """
+    m = edge_u.shape[0]
+    if not (edge_v.shape[0] == m == edge_w.shape[0]):
+        raise GraphFormatError("edge arrays must have equal length")
+    if m and (edge_w <= 0).any():
+        raise GraphFormatError("edge weights must be positive")
+
+    src = np.concatenate([edge_u, edge_v])
+    dst = np.concatenate([edge_v, edge_u])
+    w2 = np.concatenate([edge_w, edge_w])
+    eid = np.concatenate([np.arange(m, dtype=np.int64)] * 2) if m else np.empty(0, np.int64)
+
+    order = np.argsort(src, kind="stable")
+    src = src[order]
+    dst = dst[order]
+    w2 = w2[order]
+    eid = eid[order]
+
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    if m:
+        np.add.at(indptr, src + 1, 1)
+    np.cumsum(indptr, out=indptr)
+
+    return CSRGraph(
+        n=n,
+        indptr=_freeze(indptr),
+        indices=_freeze(dst.astype(np.int64, copy=False)),
+        weights=_freeze(w2.astype(np.float64, copy=False)),
+        edge_ids=_freeze(eid),
+        edge_u=_freeze(edge_u.astype(np.int64, copy=False)),
+        edge_v=_freeze(edge_v.astype(np.int64, copy=False)),
+        edge_w=_freeze(edge_w.astype(np.float64, copy=False)),
+    )

@@ -1,0 +1,297 @@
+"""Synthetic graph workloads.
+
+These are the workload generators the benchmark harness sweeps over.
+The paper's intro motivates distance computation on large sparse
+graphs; we cover the standard families used in parallel-graph-algorithm
+evaluations: Erdős–Rényi G(n, m), meshes (grid / torus), random
+geometric graphs (road-network proxies), preferential attachment
+(power-law), and small-world graphs, plus weighted variants including a
+*hard* exponentially-spread weight distribution that stresses the
+Appendix B weight-scale reduction.
+
+All generators are vectorized and take explicit seeds.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.graph.builders import from_edges
+from repro.graph.csr import CSRGraph
+from repro.rng import SeedLike, resolve_rng
+
+
+# ----------------------------------------------------------------------
+# deterministic structured graphs
+# ----------------------------------------------------------------------
+def path_graph(n: int) -> CSRGraph:
+    """Path 0-1-...-(n-1); the worst case for hop counts."""
+    i = np.arange(n - 1, dtype=np.int64)
+    return from_edges(n, np.stack([i, i + 1], axis=1))
+
+
+def cycle_graph(n: int) -> CSRGraph:
+    """Cycle 0-1-...-(n-1)-0; diameter floor(n/2)."""
+    if n < 3:
+        raise ParameterError("cycle needs n >= 3")
+    i = np.arange(n, dtype=np.int64)
+    return from_edges(n, np.stack([i, (i + 1) % n], axis=1))
+
+
+def star_graph(n: int) -> CSRGraph:
+    """Star with center 0 and n-1 leaves."""
+    leaves = np.arange(1, n, dtype=np.int64)
+    return from_edges(n, np.stack([np.zeros(n - 1, np.int64), leaves], axis=1))
+
+
+def complete_graph(n: int) -> CSRGraph:
+    """Complete graph K_n (n(n-1)/2 edges)."""
+    iu = np.triu_indices(n, k=1)
+    return from_edges(n, np.stack([iu[0], iu[1]], axis=1).astype(np.int64))
+
+
+def grid_graph(rows: int, cols: int) -> CSRGraph:
+    """rows x cols 4-neighbor mesh. Diameter rows+cols-2."""
+    idx = np.arange(rows * cols, dtype=np.int64).reshape(rows, cols)
+    right = np.stack([idx[:, :-1].ravel(), idx[:, 1:].ravel()], axis=1)
+    down = np.stack([idx[:-1, :].ravel(), idx[1:, :].ravel()], axis=1)
+    return from_edges(rows * cols, np.concatenate([right, down]))
+
+
+def torus_graph(rows: int, cols: int) -> CSRGraph:
+    """Wrap-around mesh; vertex-transitive, diameter (rows+cols)/2."""
+    idx = np.arange(rows * cols, dtype=np.int64).reshape(rows, cols)
+    right = np.stack([idx.ravel(), np.roll(idx, -1, axis=1).ravel()], axis=1)
+    down = np.stack([idx.ravel(), np.roll(idx, -1, axis=0).ravel()], axis=1)
+    return from_edges(rows * cols, np.concatenate([right, down]))
+
+
+def random_tree(n: int, seed: SeedLike = None) -> CSRGraph:
+    """Uniform random recursive tree: parent(i) ~ U[0, i)."""
+    rng = resolve_rng(seed)
+    if n <= 1:
+        return from_edges(max(n, 0), np.empty((0, 2), np.int64))
+    child = np.arange(1, n, dtype=np.int64)
+    parent = (rng.random(n - 1) * child).astype(np.int64)
+    return from_edges(n, np.stack([parent, child], axis=1))
+
+
+# ----------------------------------------------------------------------
+# random graphs
+# ----------------------------------------------------------------------
+def gnm_random_graph(n: int, m: int, seed: SeedLike = None, connected: bool = False) -> CSRGraph:
+    """Erdős–Rényi G(n, m) by rejection-free pair sampling.
+
+    Samples ~1.1*m candidate pairs, dedupes, and tops up until ``m``
+    distinct edges exist (or the graph is complete).  With
+    ``connected=True`` a random spanning tree is seeded first so the
+    result is connected (costing tree edges against the ``m`` budget).
+    """
+    rng = resolve_rng(seed)
+    max_m = n * (n - 1) // 2
+    if m > max_m:
+        raise ParameterError(f"m={m} exceeds complete graph size {max_m}")
+
+    chunks = []
+    if connected:
+        if m < n - 1:
+            raise ParameterError("connected graph needs m >= n-1")
+        t = random_tree(n, rng)
+        chunks.append(np.stack([t.edge_u, t.edge_v], axis=1))
+
+    def _dedupe(pairs: np.ndarray) -> np.ndarray:
+        u = np.minimum(pairs[:, 0], pairs[:, 1])
+        v = np.maximum(pairs[:, 0], pairs[:, 1])
+        keep = u != v
+        key = u[keep] * np.int64(n) + v[keep]
+        key = np.unique(key)
+        return np.stack([key // n, key % n], axis=1)
+
+    have = _dedupe(np.concatenate(chunks)) if chunks else np.empty((0, 2), np.int64)
+    while have.shape[0] < m:
+        need = m - have.shape[0]
+        cand = rng.integers(0, n, size=(int(need * 1.3) + 8, 2), dtype=np.int64)
+        have = _dedupe(np.concatenate([have, cand]))
+    # trim random surplus (keep tree edges if connected was requested)
+    if have.shape[0] > m:
+        if connected:
+            tree_keys = set((min(a, b), max(a, b)) for a, b in chunks[0])
+            is_tree = np.array([(int(a), int(b)) in tree_keys for a, b in have])
+            extra = np.flatnonzero(~is_tree)
+            keep_extra = rng.choice(extra, size=m - int(is_tree.sum()), replace=False)
+            sel = np.concatenate([np.flatnonzero(is_tree), keep_extra])
+            have = have[np.sort(sel)]
+        else:
+            sel = rng.choice(have.shape[0], size=m, replace=False)
+            have = have[np.sort(sel)]
+    return from_edges(n, have)
+
+
+def barabasi_albert_graph(n: int, k: int, seed: SeedLike = None) -> CSRGraph:
+    """Preferential attachment: each new vertex attaches to ``k`` targets
+    sampled from the degree-weighted repeat list (classic BA construction)."""
+    rng = resolve_rng(seed)
+    if k < 1 or n <= k:
+        raise ParameterError("need 1 <= k < n")
+    targets = list(range(k))
+    repeat: list[int] = []
+    edges = []
+    for v in range(k, n):
+        for t in set(targets):
+            edges.append((v, t))
+        repeat.extend(targets)
+        repeat.extend([v] * k)
+        idx = rng.integers(0, len(repeat), size=k)
+        targets = [repeat[i] for i in idx]
+    return from_edges(n, np.asarray(edges, dtype=np.int64))
+
+
+def watts_strogatz_graph(n: int, k: int, p: float, seed: SeedLike = None) -> CSRGraph:
+    """Ring lattice with ``k`` neighbors each side, rewired w.p. ``p``."""
+    rng = resolve_rng(seed)
+    if k < 1 or 2 * k >= n:
+        raise ParameterError("need 1 <= k and 2k < n")
+    i = np.arange(n, dtype=np.int64)
+    us, vs = [], []
+    for d in range(1, k + 1):
+        us.append(i)
+        vs.append((i + d) % n)
+    u = np.concatenate(us)
+    v = np.concatenate(vs)
+    rewire = rng.random(u.shape[0]) < p
+    v = v.copy()
+    v[rewire] = rng.integers(0, n, size=int(rewire.sum()), dtype=np.int64)
+    return from_edges(n, np.stack([u, v], axis=1))
+
+
+def random_geometric_graph(n: int, radius: float, seed: SeedLike = None) -> CSRGraph:
+    """Unit-square RGG via grid hashing (road-network proxy).
+
+    Points are hashed to cells of side ``radius``; only the 3x3 cell
+    neighborhood is scanned, giving near-linear expected construction
+    time instead of O(n^2).
+    """
+    rng = resolve_rng(seed)
+    pts = rng.random((n, 2))
+    cell = (pts / radius).astype(np.int64)
+    ncell = int(np.ceil(1.0 / radius)) + 1
+    key = cell[:, 0] * ncell + cell[:, 1]
+    order = np.argsort(key, kind="stable")
+    sorted_key = key[order]
+    # bucket boundaries
+    starts = np.searchsorted(sorted_key, np.arange(ncell * ncell))
+    ends = np.searchsorted(sorted_key, np.arange(ncell * ncell), side="right")
+    edges = []
+    r2 = radius * radius
+    for cx in range(ncell):
+        for cy in range(ncell):
+            k0 = cx * ncell + cy
+            a = order[starts[k0] : ends[k0]]
+            if a.size == 0:
+                continue
+            # gather candidate points from 3x3 neighborhood (only forward
+            # half to avoid duplicates)
+            cand = [a]
+            for dx, dy in ((0, 1), (1, -1), (1, 0), (1, 1)):
+                nx_, ny_ = cx + dx, cy + dy
+                if 0 <= nx_ < ncell and 0 <= ny_ < ncell:
+                    k1 = nx_ * ncell + ny_
+                    cand.append(order[starts[k1] : ends[k1]])
+            b = np.concatenate(cand)
+            d = pts[a, None, :] - pts[None, b, :]
+            close = (d * d).sum(axis=2) <= r2
+            ai, bi = np.nonzero(close)
+            uu = a[ai]
+            vv = b[bi]
+            # drop self-pairs; from_edges canonicalizes orientation and
+            # dedupes the same-cell double counting
+            keep = uu != vv
+            if keep.any():
+                edges.append(np.stack([uu[keep], vv[keep]], axis=1))
+    all_edges = np.concatenate(edges) if edges else np.empty((0, 2), np.int64)
+    return from_edges(n, all_edges)
+
+
+# ----------------------------------------------------------------------
+# weight decorators
+# ----------------------------------------------------------------------
+def rmat_graph(
+    scale: int,
+    edge_factor: int = 8,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: SeedLike = None,
+) -> CSRGraph:
+    """R-MAT / Kronecker power-law graph (Graph500 generator family).
+
+    ``n = 2^scale`` vertices and ``edge_factor * n`` sampled edge slots;
+    each edge picks its endpoints by recursively descending the 2x2
+    partition matrix [[a, b], [c, d]] (d = 1-a-b-c).  Duplicates and
+    self loops are removed by :func:`from_edges`, so the final edge
+    count is somewhat below ``edge_factor * n``.  The standard skewed
+    workload for parallel graph-algorithm evaluation.
+    """
+    if not (0 < a and 0 <= b and 0 <= c and a + b + c < 1):
+        raise ParameterError("R-MAT probabilities must be positive with a+b+c < 1")
+    rng = resolve_rng(seed)
+    n = 1 << scale
+    m = edge_factor * n
+    u = np.zeros(m, dtype=np.int64)
+    v = np.zeros(m, dtype=np.int64)
+    # descend all bits at once, vectorized across edges
+    for bit in range(scale):
+        r = rng.random(m)
+        right = r >= a + c  # column choice: P(col=1) = b + d
+        # row choice conditioned on column
+        r2 = rng.random(m)
+        p_bottom_given_left = c / (a + c)
+        p_bottom_given_right = (1 - a - b - c) / max(b + (1 - a - b - c), 1e-12)
+        bottom = np.where(right, r2 < p_bottom_given_right, r2 < p_bottom_given_left)
+        u = (u << 1) | bottom.astype(np.int64)
+        v = (v << 1) | right.astype(np.int64)
+    return from_edges(n, np.stack([u, v], axis=1))
+
+
+def with_random_weights(
+    g: CSRGraph,
+    low: float = 1.0,
+    high: float = 100.0,
+    distribution: str = "uniform",
+    seed: SeedLike = None,
+) -> CSRGraph:
+    """Reweight ``g`` with random positive weights.
+
+    ``distribution`` is ``"uniform"`` on [low, high], ``"loguniform"``
+    (weights span the full ratio U = high/low geometrically), or
+    ``"integer"`` (uniform integers in [low, high]).
+    """
+    rng = resolve_rng(seed)
+    m = g.m
+    if distribution == "uniform":
+        w = rng.uniform(low, high, size=m)
+    elif distribution == "loguniform":
+        w = np.exp(rng.uniform(np.log(low), np.log(high), size=m))
+    elif distribution == "integer":
+        w = rng.integers(int(low), int(high) + 1, size=m).astype(np.float64)
+    else:
+        raise ParameterError(f"unknown distribution {distribution!r}")
+    return from_edges(g.n, g.edges_array(), w)
+
+
+def hard_weight_graph(n: int, m: int, n_scales: int = 4, seed: SeedLike = None) -> CSRGraph:
+    """Connected G(n, m) whose weights span ``n_scales`` powers of ``n``.
+
+    This is the adversarial input for Appendix B: the weight ratio is
+    ``n**n_scales``, far beyond the O(n^3) per-piece bound, forcing the
+    hierarchical weight decomposition to actually split scales.
+    """
+    rng = resolve_rng(seed)
+    g = gnm_random_graph(n, m, seed=rng, connected=True)
+    scale = rng.integers(0, n_scales + 1, size=g.m)
+    base = rng.uniform(1.0, 2.0, size=g.m)
+    w = base * (float(n) ** scale)
+    return from_edges(n, g.edges_array(), w)

@@ -1,0 +1,71 @@
+"""Graph persistence: whitespace edge lists and compressed .npz archives."""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.builders import from_edges
+from repro.graph.csr import CSRGraph
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def save_npz(g: CSRGraph, path: PathLike) -> None:
+    """Save in compact .npz form (undirected edge list + n)."""
+    np.savez_compressed(
+        path, n=np.int64(g.n), edge_u=g.edge_u, edge_v=g.edge_v, edge_w=g.edge_w
+    )
+
+
+def load_npz(path: PathLike) -> CSRGraph:
+    with np.load(path) as data:
+        n = int(data["n"])
+        edges = np.stack([data["edge_u"], data["edge_v"]], axis=1)
+        return from_edges(n, edges, data["edge_w"])
+
+
+def save_edgelist(g: CSRGraph, path: PathLike, header: bool = True) -> None:
+    """Write ``u v w`` lines; a ``# n m`` header keeps isolated vertices."""
+    with open(path, "w", encoding="utf-8") as f:
+        if header:
+            f.write(f"# {g.n} {g.m}\n")
+        for u, v, w in g.iter_edges():
+            if w == int(w):
+                f.write(f"{u} {v} {int(w)}\n")
+            else:
+                f.write(f"{u} {v} {w!r}\n")
+
+
+def load_edgelist(path: PathLike) -> CSRGraph:
+    """Parse an edge list written by :func:`save_edgelist` (or compatible)."""
+    us, vs, ws = [], [], []
+    n_header = None
+    with open(path, "r", encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                parts = line[1:].split()
+                if len(parts) >= 1 and n_header is None:
+                    try:
+                        n_header = int(parts[0])
+                    except ValueError:
+                        pass
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise GraphFormatError(f"bad edge list line: {line!r}")
+            us.append(int(parts[0]))
+            vs.append(int(parts[1]))
+            ws.append(float(parts[2]) if len(parts) > 2 else 1.0)
+    if not us:
+        return from_edges(n_header or 0, np.empty((0, 2), np.int64))
+    u = np.asarray(us, dtype=np.int64)
+    v = np.asarray(vs, dtype=np.int64)
+    n = n_header if n_header is not None else int(max(u.max(), v.max())) + 1
+    return from_edges(n, np.stack([u, v], axis=1), np.asarray(ws))

@@ -1,0 +1,64 @@
+"""Structural validators for :class:`~repro.graph.csr.CSRGraph`.
+
+Used by tests and by ``verify=True`` code paths of the algorithms.
+Raise :class:`~repro.errors.VerificationError` on violation so checks
+survive ``python -O``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import VerificationError
+from repro.graph.csr import CSRGraph
+
+
+def validate_graph(g: CSRGraph) -> None:
+    """Check every CSR invariant; raise VerificationError on the first failure."""
+    if g.indptr.shape[0] != g.n + 1:
+        raise VerificationError("indptr length != n+1")
+    if g.indptr[0] != 0 or g.indptr[-1] != g.indices.shape[0]:
+        raise VerificationError("indptr endpoints wrong")
+    if (np.diff(g.indptr) < 0).any():
+        raise VerificationError("indptr not monotone")
+    if g.indices.shape != g.weights.shape or g.indices.shape != g.edge_ids.shape:
+        raise VerificationError("CSR arrays of mismatched length")
+    if g.m and (g.indices < 0).any() or g.m and (g.indices >= g.n).any():
+        raise VerificationError("neighbor id out of range")
+    if g.indices.shape[0] != 2 * g.m:
+        raise VerificationError("arc count != 2m (graph not simple/symmetric?)")
+    if g.m:
+        if (g.edge_u >= g.edge_v).any():
+            raise VerificationError("edge list not canonically oriented (u < v)")
+        if (g.edge_w <= 0).any():
+            raise VerificationError("non-positive edge weight")
+        key = g.edge_u * np.int64(g.n) + g.edge_v
+        if np.unique(key).shape[0] != g.m:
+            raise VerificationError("duplicate undirected edges")
+        # CSR weights and ids must be consistent with the edge list
+        if not np.allclose(g.weights, g.edge_w[g.edge_ids]):
+            raise VerificationError("CSR weights disagree with edge list")
+        src = g.arc_sources()
+        ok_fwd = (src == g.edge_u[g.edge_ids]) & (g.indices == g.edge_v[g.edge_ids])
+        ok_bwd = (src == g.edge_v[g.edge_ids]) & (g.indices == g.edge_u[g.edge_ids])
+        if not (ok_fwd | ok_bwd).all():
+            raise VerificationError("CSR arcs disagree with edge endpoints")
+        # symmetry: each undirected edge appears exactly twice
+        counts = np.bincount(g.edge_ids, minlength=g.m)
+        if not (counts == 2).all():
+            raise VerificationError("edge id not present exactly twice in CSR")
+
+
+def is_subgraph(h: CSRGraph, g: CSRGraph) -> bool:
+    """True iff every edge of ``h`` is an edge of ``g`` with equal weight."""
+    if h.n != g.n:
+        return False
+    if h.m == 0:
+        return True
+    gk = g.edge_u * np.int64(g.n) + g.edge_v
+    hk = h.edge_u * np.int64(g.n) + h.edge_v
+    pos = np.searchsorted(gk, hk)
+    ok = (pos < g.m) & (gk[np.minimum(pos, g.m - 1)] == hk)
+    if not ok.all():
+        return False
+    return bool(np.allclose(g.edge_w[pos], h.edge_w))

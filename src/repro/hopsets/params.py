@@ -1,0 +1,99 @@
+"""Hopset construction parameters (Section 4's beta schedule and thresholds).
+
+The construction is driven by four theory-level knobs:
+
+``epsilon``
+    Per-level distortion budget; the end-to-end distortion is
+    ``O(epsilon * log_rho(n))`` (Lemma 4.2), so Theorem 1.2 instantiates
+    ``epsilon = eps' / log n``.
+``delta > 1``
+    Shrink exponent: clusters are *small* (recursed on) when their size
+    is below ``|V| / rho`` with ``rho = (growth)^delta``, so cluster
+    sizes fall much faster than beta grows — this is what terminates the
+    recursion with most path segments inside large clusters.
+``gamma1 < gamma2 < 1``
+    Base-case size ``n_final = n^gamma1`` and top-level parameter
+    ``beta0 = n^(-gamma2)`` (Theorem 4.4).
+
+Claim 4.1: ``beta_i = growth^i * beta0`` where
+``growth = c_growth * log(n) / epsilon``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.errors import ParameterError
+
+
+@dataclass(frozen=True)
+class HopsetParams:
+    """Parameter pack for Algorithm 4 (and its weighted extension)."""
+
+    epsilon: float = 0.5
+    delta: float = 1.1
+    gamma1: float = 0.15
+    gamma2: float = 0.6
+    c_growth: float = 1.0
+    max_levels: int = 64
+
+    def __post_init__(self) -> None:
+        if not (0 < self.epsilon):
+            raise ParameterError("epsilon must be positive")
+        if self.delta <= 1:
+            raise ParameterError("delta must exceed 1 (Section 4: rho grows faster than beta)")
+        if not (0 <= self.gamma1 < self.gamma2 < 1):
+            raise ParameterError("need 0 <= gamma1 < gamma2 < 1 (Theorem 4.4)")
+        if self.c_growth <= 0:
+            raise ParameterError("c_growth must be positive")
+
+    # ------------------------------------------------------------------
+    def growth(self, n: int) -> float:
+        """Per-level beta multiplier ``c_growth * log(n) / epsilon`` (>= 2)."""
+        return max(2.0, self.c_growth * math.log(max(n, 3)) / self.epsilon)
+
+    def rho(self, n: int) -> float:
+        """Large-cluster threshold divisor ``growth(n)^delta`` (Section 4)."""
+        return self.growth(n) ** self.delta
+
+    def beta0(self, n: int) -> float:
+        """Top-level decomposition parameter ``n^(-gamma2)``."""
+        return float(max(n, 2)) ** (-self.gamma2)
+
+    def beta_at(self, level: int, n: int) -> float:
+        """Claim 4.1: ``beta_i = growth^i * beta0``.
+
+        Capped at 8: past that the mean shift is under 1/8 of an edge,
+        every cluster is a singleton regardless, and an unbounded beta
+        only degrades the exponential sampling range.
+        """
+        return min(8.0, self.beta0(n) * self.growth(n) ** level)
+
+    def n_final(self, n: int) -> int:
+        """Base-case size ``n^gamma1`` (at least 2)."""
+        return max(2, int(round(float(max(n, 2)) ** self.gamma1)))
+
+    def expected_levels(self, n: int) -> int:
+        """Recursion depth estimate ``log_rho(n / n_final)``."""
+        nf = self.n_final(n)
+        if n <= nf:
+            return 0
+        return max(1, int(math.ceil(math.log(n / nf) / math.log(self.rho(n)))))
+
+    def predicted_hop_bound(self, n: int, d: float) -> float:
+        """Lemma 4.2's expected hop count
+        ``n^(1/delta) * n_final^(1-1/delta) * beta0 * d`` plus the base-
+        case segments (one ``n_final`` factor)."""
+        nf = self.n_final(n)
+        cuts = (float(n) ** (1.0 / self.delta)) * (float(nf) ** (1.0 - 1.0 / self.delta)) * self.beta0(n) * d
+        return cuts * nf + 3.0 * max(cuts, 1.0)
+
+    def predicted_distortion(self, n: int) -> float:
+        """Lemma 4.2's multiplicative distortion ``1 + O(eps log_rho n)``."""
+        return 1.0 + self.epsilon * (1 + self.expected_levels(n))
+
+    def with_(self, **kw) -> "HopsetParams":
+        """Functional update (frozen dataclass convenience)."""
+        return replace(self, **kw)

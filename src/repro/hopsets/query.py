@@ -1,0 +1,94 @@
+"""Distance queries over hopset-augmented graphs [KS97].
+
+Once a hopset ``E'`` exists, a (1+eps)-approximate distance is the
+h-hop Bellman–Ford distance on ``E ∪ E'`` — O(h) rounds of O(m + |E'|)
+work, which is the query cost Figure 2 compares.  ``h`` defaults to
+Lemma 4.2's bound for the queried distance (doubling until the answer
+stabilizes when no distance estimate is available).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.hopsets.result import HopsetResult
+from repro.paths.bellman_ford import hop_limited_distances
+from repro.paths.dijkstra import dijkstra_scipy
+from repro.pram.tracker import PramTracker, null_tracker
+
+
+def exact_distance(g: CSRGraph, s: int, t: int) -> float:
+    """Ground truth s-t distance (scipy Dijkstra)."""
+    return float(dijkstra_scipy(g, s)[t])
+
+
+def suggested_hop_bound(hopset: HopsetResult, d_estimate: float) -> int:
+    """Lemma 4.2's hop budget for a path of (estimated) length ``d``.
+
+    ``h = n^(1/delta) * n_final^(1-1/delta) * beta0 * d``, multiplied by
+    the base-case segment length ``n_final``, with a small floor so
+    trivial queries still get a few rounds.
+    """
+    n = hopset.graph.n
+    meta = hopset.meta
+    delta = meta.get("delta", 1.1)
+    beta0 = meta.get("beta0", 1.0 / max(n, 2))
+    nf = meta.get("n_final", 2.0)
+    cuts = (float(n) ** (1.0 / delta)) * (nf ** (1.0 - 1.0 / delta)) * beta0 * max(d_estimate, 1.0)
+    h = int(np.ceil(cuts * nf + 3 * max(cuts, 1.0))) + 8
+    return min(h, max(n, 2))
+
+
+def hopset_sssp(
+    hopset: HopsetResult,
+    source: int,
+    h: int,
+    tracker: Optional[PramTracker] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """h-hop distances from ``source`` on ``E ∪ E'``; returns (dist, hops)."""
+    tracker = tracker or null_tracker()
+    arcs = hopset.arcs()
+    with tracker.phase("query"):
+        dist, hops, _ = hop_limited_distances(arcs, np.asarray([source]), h, tracker)
+    return dist, hops
+
+
+def hopset_distance(
+    hopset: HopsetResult,
+    s: int,
+    t: int,
+    h: Optional[int] = None,
+    tracker: Optional[PramTracker] = None,
+) -> Tuple[float, int]:
+    """(1+eps)-approximate s-t distance using the hopset.
+
+    Returns ``(distance, hops_used)``.  When ``h`` is omitted the hop
+    budget doubles (starting from Lemma 4.2's estimate for small d)
+    until the estimate stops improving — never exceeding ``n``.
+    """
+    tracker = tracker or null_tracker()
+    arcs = hopset.arcs()
+    n = hopset.graph.n
+    if h is not None:
+        with tracker.phase("query"):
+            dist, hops, _ = hop_limited_distances(arcs, np.asarray([s]), h, tracker)
+        return float(dist[t]), int(hops[t])
+
+    budget = max(8, suggested_hop_bound(hopset, 1.0))
+    best = np.inf
+    best_hops = 0
+    while True:
+        with tracker.phase("query"):
+            dist, hops, rounds = hop_limited_distances(arcs, np.asarray([s]), budget, tracker)
+        if dist[t] < best:
+            best = float(dist[t])
+            best_hops = int(hops[t])
+        # converged: Bellman-Ford stopped early (no round changed
+        # anything), so more hops cannot help
+        if rounds < budget or budget >= n:
+            break
+        budget = min(2 * budget, n)
+    return best, best_hops

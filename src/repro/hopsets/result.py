@@ -1,0 +1,93 @@
+"""Result containers for hopset constructions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.paths.bellman_ford import ArcSet, arcs_from_graph, combine_arcs
+
+
+@dataclass(frozen=True)
+class LevelStats:
+    """Per-recursion-level construction statistics (diagnostics/benches)."""
+
+    level: int
+    subproblems: int
+    vertices: int
+    clusters: int
+    large_clusters: int
+    star_edges: int
+    clique_edges: int
+    beta: float
+
+
+@dataclass(frozen=True)
+class HopsetResult:
+    """A hopset: shortcut edges over the vertex set of ``graph``.
+
+    Every edge ``(eu[i], ev[i])`` has weight ``ew[i]`` equal to the
+    length of a concrete path of the (sub)graph it was built from —
+    Definition 2.4's requirement — so hopset-augmented distances can
+    never undershoot true distances.
+    """
+
+    graph: CSRGraph
+    eu: np.ndarray
+    ev: np.ndarray
+    ew: np.ndarray
+    kind: np.ndarray  # 0 = star edge, 1 = clique edge
+    levels: List[LevelStats] = field(default_factory=list)
+    meta: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        """Number of hopset edges."""
+        return int(self.eu.shape[0])
+
+    @property
+    def star_count(self) -> int:
+        return int((self.kind == 0).sum())
+
+    @property
+    def clique_count(self) -> int:
+        return int((self.kind == 1).sum())
+
+    def arcs(self) -> ArcSet:
+        """Directed arcs of ``E ∪ E'`` ready for h-hop Bellman–Ford."""
+        return combine_arcs(arcs_from_graph(self.graph), self.eu, self.ev, self.ew)
+
+    def hopset_only_arcs(self) -> ArcSet:
+        base = ArcSet(
+            n=self.graph.n,
+            src=np.empty(0, np.int64),
+            dst=np.empty(0, np.int64),
+            w=np.empty(0, np.float64),
+        )
+        return combine_arcs(base, self.eu, self.ev, self.ew)
+
+    def verify_edge_weights(self, tol: float = 1e-9) -> None:
+        """Check Definition 2.4 item 2: no hopset edge is lighter than
+        the true distance between its endpoints (each must correspond to
+        a real path).  O(#distinct sources) Dijkstras; test-scale only.
+        """
+        from scipy.sparse.csgraph import dijkstra as sp_dijkstra
+
+        from repro.errors import VerificationError
+
+        if self.size == 0:
+            return
+        gs = self.graph.to_scipy()
+        srcs, inv = np.unique(self.eu, return_inverse=True)
+        D = sp_dijkstra(gs, directed=False, indices=srcs)
+        true_d = D[inv, self.ev]
+        bad = self.ew < true_d - tol * np.maximum(1.0, true_d)
+        if bad.any():
+            i = int(np.flatnonzero(bad)[0])
+            raise VerificationError(
+                f"hopset edge ({self.eu[i]},{self.ev[i]}) weight {self.ew[i]} "
+                f"below true distance {true_d[i]}"
+            )

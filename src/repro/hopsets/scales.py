@@ -1,0 +1,165 @@
+"""Appendix B: reduction to polynomially bounded edge weights.
+
+Edges are grouped into *categories* by powers of ``base = n / eps``:
+``cat(e) = floor(log_base(w(e) / w_min))``.  Contracting all categories
+more than two below a query's level and discarding all categories more
+than one above it changes distances by at most a ``(1 ± eps)`` factor
+(Lemma 5.1), because:
+
+* lighter edges are so light that ``n - 1`` of them weigh less than
+  ``eps`` times one edge of the query's category (safe to contract),
+* heavier edges cannot appear on the path at all (both endpoints are
+  already connected two categories down).
+
+:func:`build_weight_scales` materializes, for every non-empty category
+``q(j)``, the piece ``G[P_(q(j+1))] / P_(q(j-2))`` — weight ratio at
+most ``base^3 = O((n/eps)^3)`` — together with the routing tables
+(hierarchical-decomposition component labels per level) that send an
+(s, t) query to the right piece, as in the paper's LCA argument.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ParameterError, NotConnectedError
+from repro.graph.csr import CSRGraph
+from repro.graph.quotient import quotient_graph
+from repro.graph.unionfind import UnionFind
+
+
+@dataclass(frozen=True)
+class ScalePiece:
+    """One bounded-ratio piece of the decomposition.
+
+    ``vertex_map[v]`` is the piece vertex representing original vertex
+    ``v`` (-1 when v does not appear, i.e. is isolated in the piece).
+    """
+
+    level: int
+    graph: CSRGraph
+    vertex_map: np.ndarray
+    categories: Tuple[int, ...]
+
+    @property
+    def weight_ratio(self) -> float:
+        return self.graph.weight_ratio
+
+
+@dataclass(frozen=True)
+class WeightScaleDecomposition:
+    """Pieces + routing tables answering which piece serves a query."""
+
+    graph: CSRGraph
+    base: float
+    eps: float
+    nonempty: np.ndarray  # sorted non-empty category indices q(0..k-1)
+    pieces: List[ScalePiece]
+    labels_after: List[np.ndarray]  # component labels after merging cats <= q(j)
+
+    @property
+    def num_levels(self) -> int:
+        return int(self.nonempty.shape[0])
+
+    def total_piece_edges(self) -> int:
+        """Each original edge appears in at most 3 pieces (Lemma 5.1)."""
+        return sum(p.graph.m for p in self.pieces)
+
+    def route(self, s: int, t: int) -> Tuple[int, int, int]:
+        """Level index and piece-local endpoints serving the (s, t) query.
+
+        The level is the lowest ``j`` with s, t connected in
+        ``G[P_(q(j))]`` (the decomposition-tree LCA level).
+        Raises :class:`NotConnectedError` when s and t are disconnected.
+        """
+        for j in range(self.num_levels):
+            lab = self.labels_after[j]
+            if lab[s] == lab[t]:
+                piece = self.pieces[j]
+                ps, pt = int(piece.vertex_map[s]), int(piece.vertex_map[t])
+                if ps < 0 or pt < 0:
+                    raise NotConnectedError(
+                        "routing inconsistency: endpoint missing from its piece"
+                    )
+                return j, ps, pt
+        raise NotConnectedError(f"vertices {s} and {t} are not connected")
+
+    def query_distance(self, s: int, t: int) -> float:
+        """Exact distance computed inside the routed piece.
+
+        This is the verification path for Lemma 5.1: the piece distance
+        must be within (1 ± eps) of the true distance.  Same-component
+        contracted pairs return 0 (their distance is below the
+        resolution of the query's category, i.e. relatively negligible).
+        """
+        if s == t:
+            return 0.0
+        j, ps, pt = self.route(s, t)
+        if ps == pt:
+            return 0.0
+        from repro.paths.dijkstra import dijkstra_scipy
+
+        return float(dijkstra_scipy(self.pieces[j].graph, ps)[pt])
+
+
+def build_weight_scales(g: CSRGraph, eps: float = 0.25) -> WeightScaleDecomposition:
+    """Construct the Appendix B hierarchical weight decomposition."""
+    if not (0 < eps < 1):
+        raise ParameterError("eps must lie in (0, 1)")
+    if g.m == 0:
+        raise ParameterError("weight-scale decomposition needs at least one edge")
+    n = g.n
+    base = max(float(n) / eps, 2.0)
+    w_min = g.min_weight
+    cat = np.floor(np.log(g.edge_w / w_min) / math.log(base)).astype(np.int64)
+    # float guard (w exactly on a boundary)
+    lo = w_min * np.power(base, cat.astype(np.float64))
+    cat[lo > g.edge_w * (1 + 1e-12)] -= 1
+
+    nonempty = np.unique(cat)
+    k = nonempty.shape[0]
+
+    # progressive union-find; snapshot component labels after each level
+    uf = UnionFind(n)
+    labels_after: List[np.ndarray] = []
+    edges_of_level: List[np.ndarray] = []
+    for j in range(k):
+        ids = np.flatnonzero(cat == nonempty[j])
+        edges_of_level.append(ids)
+        uf.union_edges(g.edge_u[ids], g.edge_v[ids])
+        labels_after.append(uf.component_labels())
+
+    pieces: List[ScalePiece] = []
+    identity = np.arange(n, dtype=np.int64)
+    for j in range(k):
+        cats = [jj for jj in (j - 1, j, j + 1) if 0 <= jj < k]
+        ids = np.concatenate([edges_of_level[jj] for jj in cats])
+        contract_lab = labels_after[j - 2] if j >= 2 else identity
+        q = quotient_graph(
+            labels=contract_lab,
+            edge_u=g.edge_u[ids],
+            edge_v=g.edge_v[ids],
+            edge_w=g.edge_w[ids],
+            edge_ids=ids,
+        )
+        pieces.append(
+            ScalePiece(
+                level=j,
+                graph=q.graph,
+                vertex_map=q.vertex_map,
+                categories=tuple(int(nonempty[jj]) for jj in cats),
+            )
+        )
+
+    return WeightScaleDecomposition(
+        graph=g,
+        base=base,
+        eps=eps,
+        nonempty=nonempty,
+        pieces=pieces,
+        labels_after=labels_after,
+    )

@@ -1,0 +1,341 @@
+"""Algorithm 4: recursive hopset construction.
+
+Structure (Section 4):
+
+1. Cluster the current (sub)graph with the level's ``beta_i``
+   (Claim 4.1 schedule).
+2. First call: recurse on *every* cluster — the top level only breaks
+   the graph into diameter-``O(beta0^-1 log n)`` pieces.
+3. Deeper calls: clusters with at least ``|V| / rho`` vertices are
+   *large*: put a star on the center (edges ``(v, center)`` weighted by
+   the clustering tree distance — a concrete path, as Definition 2.4
+   requires) and connect all large-cluster centers into a clique
+   weighted by their true distances in the current subgraph (computed
+   by one parallel BFS per center, exactly the paper's Line 9).
+4. Recurse on the small clusters with ``beta_{i+1} = growth * beta_i``
+   until pieces have at most ``n_final`` vertices.
+
+The recursion works on induced subgraphs with an explicit map back to
+original vertex ids; all sub-calls at one level are independent, so
+their trackers are merged with parallel (max-depth) semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.clustering.est import est_cluster
+from repro.errors import ParameterError
+from repro.graph.builders import induced_subgraph
+from repro.graph.csr import CSRGraph
+from repro.hopsets.params import HopsetParams
+from repro.hopsets.result import HopsetResult, LevelStats
+from repro.paths.bfs import bfs
+from repro.paths.dijkstra import dijkstra
+from repro.paths.weighted_bfs import dial_sssp
+from repro.pram.tracker import PramTracker, null_tracker
+from repro.rng import SeedLike, resolve_rng, spawn
+
+
+class _Collector:
+    """Accumulates hopset edges and per-level statistics."""
+
+    def __init__(self) -> None:
+        self.eu: List[np.ndarray] = []
+        self.ev: List[np.ndarray] = []
+        self.ew: List[np.ndarray] = []
+        self.kind: List[np.ndarray] = []
+        self.level_stats: Dict[int, Dict[str, float]] = {}
+
+    def add_edges(self, eu, ev, ew, kind_code: int) -> None:
+        eu = np.asarray(eu, dtype=np.int64)
+        if eu.size == 0:
+            return
+        self.eu.append(eu)
+        self.ev.append(np.asarray(ev, dtype=np.int64))
+        self.ew.append(np.asarray(ew, dtype=np.float64))
+        self.kind.append(np.full(eu.shape[0], kind_code, dtype=np.int8))
+
+    def bump(self, level: int, **counts: float) -> None:
+        d = self.level_stats.setdefault(
+            level,
+            {
+                "subproblems": 0,
+                "vertices": 0,
+                "clusters": 0,
+                "large_clusters": 0,
+                "star_edges": 0,
+                "clique_edges": 0,
+                "beta": 0.0,
+            },
+        )
+        for k, v in counts.items():
+            if k == "beta":
+                d[k] = max(d[k], v)
+            else:
+                d[k] += v
+
+    def finish(self, g: CSRGraph, meta: Dict[str, float]) -> HopsetResult:
+        if self.eu:
+            eu = np.concatenate(self.eu)
+            ev = np.concatenate(self.ev)
+            ew = np.concatenate(self.ew)
+            kind = np.concatenate(self.kind)
+        else:
+            eu = np.empty(0, np.int64)
+            ev = np.empty(0, np.int64)
+            ew = np.empty(0, np.float64)
+            kind = np.empty(0, np.int8)
+        levels = [
+            LevelStats(
+                level=lv,
+                subproblems=int(d["subproblems"]),
+                vertices=int(d["vertices"]),
+                clusters=int(d["clusters"]),
+                large_clusters=int(d["large_clusters"]),
+                star_edges=int(d["star_edges"]),
+                clique_edges=int(d["clique_edges"]),
+                beta=float(d["beta"]),
+            )
+            for lv, d in sorted(self.level_stats.items())
+        ]
+        return HopsetResult(graph=g, eu=eu, ev=ev, ew=ew, kind=kind, levels=levels, meta=meta)
+
+
+def _center_distances(
+    sub: CSRGraph, center: int, tracker: PramTracker
+) -> np.ndarray:
+    """Distances from one center in the current subgraph (the Line 9 BFS).
+
+    Picks the cheapest exact engine for the weight type: unweighted ->
+    level-synchronous BFS, integer weights -> Dial buckets, otherwise
+    Dijkstra (charged as a level-synchronous search).
+    """
+    if sub.is_unweighted:
+        dist, _ = bfs(sub, center, tracker=tracker)
+        return np.where(dist == np.iinfo(np.int64).max, np.inf, dist.astype(np.float64))
+    w_int = sub.weights.astype(np.int64)
+    if np.array_equal(w_int.astype(np.float64), sub.weights):
+        dist, _, _, _ = dial_sssp(sub, np.asarray([center]), weights_int=w_int, tracker=tracker)
+        return np.where(dist == np.iinfo(np.int64).max, np.inf, dist.astype(np.float64))
+    dist, _, _ = dijkstra(sub, center)
+    levels = int(np.ceil(np.nanmax(dist[np.isfinite(dist)]))) + 1 if np.isfinite(dist).any() else 1
+    tracker.parallel_round(work=2 * sub.m + sub.n, rounds=max(levels, 1))
+    return dist
+
+
+def _cluster_method(sub: CSRGraph, requested: str) -> str:
+    if requested != "auto":
+        return requested
+    if sub.is_unweighted:
+        return "round"
+    w_int = sub.weights.astype(np.int64)
+    if np.array_equal(w_int.astype(np.float64), sub.weights):
+        return "round"
+    return "exact"
+
+
+def _recurse(
+    sub: CSRGraph,
+    vmap: np.ndarray,
+    level: int,
+    is_first: bool,
+    params: HopsetParams,
+    n_top: int,
+    rng: np.random.Generator,
+    method: str,
+    tracker: PramTracker,
+    out: _Collector,
+    star_weights: str = "tree",
+) -> None:
+    n_sub = sub.n
+    n_final = params.n_final(n_top)
+    if n_sub <= n_final or level >= params.max_levels:
+        return
+
+    beta = params.beta_at(level, n_top)
+    clustering = est_cluster(
+        sub, beta, seed=rng, method=_cluster_method(sub, method), tracker=tracker
+    )
+    labels = clustering.labels
+    sizes = clustering.sizes
+    num_clusters = clustering.num_clusters
+    out.bump(
+        level,
+        subproblems=1,
+        vertices=n_sub,
+        clusters=num_clusters,
+        beta=beta,
+    )
+
+    if is_first:
+        # top level: just split; recurse on every cluster
+        children: List[PramTracker] = []
+        child_rngs = spawn(rng, num_clusters)
+        for lab in range(num_clusters):
+            members = clustering.members(lab)
+            if members.shape[0] <= n_final:
+                continue
+            csub, cmap_local = induced_subgraph(sub, members)
+            child_tracker = tracker.fork()
+            _recurse(
+                csub,
+                vmap[members],
+                level + 1,
+                False,
+                params,
+                n_top,
+                child_rngs[lab],
+                method,
+                child_tracker,
+                out,
+                star_weights=star_weights,
+            )
+            children.append(child_tracker)
+        tracker.parallel_children(children)
+        return
+
+    rho = params.rho(n_top)
+    threshold = n_sub / rho
+    large = np.flatnonzero(sizes >= threshold)
+    small = np.flatnonzero(sizes < threshold)
+    out.bump(level, large_clusters=large.shape[0])
+
+    # one search per large-cluster center over the current subgraph —
+    # used for clique weights always, and for star weights in "exact"
+    # mode (reusing the same searches at no extra cost)
+    center_ids = np.array(
+        [clustering.center[clustering.members(int(l))[0]] for l in large],
+        dtype=np.int64,
+    )
+    need_center_dists = large.shape[0] >= 2 or (
+        star_weights == "exact" and large.shape[0] >= 1
+    )
+    dists: List[np.ndarray] = []
+    if need_center_dists:
+        bfs_children = []
+        for c in center_ids:
+            child_tracker = tracker.fork()
+            dists.append(_center_distances(sub, int(c), child_tracker))
+            bfs_children.append(child_tracker)
+        tracker.parallel_children(bfs_children)
+
+    # ---- star edges on large clusters ----------------------------------
+    # "tree": the clustering tree distance (the paper's line 8 — a
+    # concrete path by construction); "exact": the center search's true
+    # subgraph distance (tighter, never heavier than the tree path)
+    if large.shape[0]:
+        for i, lab in enumerate(large):
+            members = clustering.members(int(lab))
+            c_local = int(center_ids[i])
+            others = members[members != c_local]
+            if others.size == 0:
+                continue
+            if star_weights == "exact":
+                sw = dists[i][others]
+            else:
+                sw = clustering.dist_to_center[others]
+            finite = np.isfinite(sw)
+            out.add_edges(vmap[others[finite]], np.full(int(finite.sum()), vmap[c_local]), sw[finite], kind_code=0)
+            out.bump(level, star_edges=int(finite.sum()))
+
+    # ---- clique edges between large-cluster centers --------------------
+    if large.shape[0] >= 2:
+        qu, qv, qw = [], [], []
+        for i in range(len(center_ids)):
+            for j in range(i + 1, len(center_ids)):
+                d = dists[i][center_ids[j]]
+                if np.isfinite(d):
+                    qu.append(vmap[center_ids[i]])
+                    qv.append(vmap[center_ids[j]])
+                    qw.append(float(d))
+        out.add_edges(qu, qv, qw, kind_code=1)
+        out.bump(level, clique_edges=len(qu))
+
+    # ---- recurse on small clusters -------------------------------------
+    children = []
+    child_rngs = spawn(rng, max(int(small.shape[0]), 1))
+    for idx, lab in enumerate(small):
+        members = clustering.members(int(lab))
+        if members.shape[0] <= n_final:
+            continue
+        csub, _ = induced_subgraph(sub, members)
+        child_tracker = tracker.fork()
+        _recurse(
+            csub,
+            vmap[members],
+            level + 1,
+            False,
+            params,
+            n_top,
+            child_rngs[idx],
+            method,
+            child_tracker,
+            out,
+            star_weights=star_weights,
+        )
+        children.append(child_tracker)
+    tracker.parallel_children(children)
+
+
+def build_hopset(
+    g: CSRGraph,
+    params: Optional[HopsetParams] = None,
+    seed: SeedLike = None,
+    method: str = "auto",
+    star_weights: str = "tree",
+    tracker: Optional[PramTracker] = None,
+) -> HopsetResult:
+    """Run Algorithm 4 on ``g`` and return the hopset.
+
+    Parameters
+    ----------
+    params:
+        :class:`HopsetParams`; defaults are laptop-scale analogues of
+        Theorem 4.4's ``delta = 1.1`` example.
+    method:
+        EST/BFS execution mode: ``auto`` (engine per weight type),
+        ``round``, or ``exact``.
+    star_weights:
+        ``"tree"`` (the paper's line 8: cluster-tree distances) or
+        ``"exact"`` (subgraph distances from the center searches).
+        For exact-mode clustering the two coincide — the race's tree
+        distance from the claiming center *is* the true distance — so
+        this knob only matters under round-mode quantization; tests
+        pin the equivalence.
+
+    Works on unweighted and (positive-) weighted graphs alike; the
+    Section 5 pipeline calls this on rounded integer graphs.
+    """
+    params = params or HopsetParams()
+    if star_weights not in ("tree", "exact"):
+        raise ParameterError("star_weights must be 'tree' or 'exact'")
+    tracker = tracker or null_tracker()
+    rng = resolve_rng(seed)
+    out = _Collector()
+    with tracker.phase("hopset"):
+        _recurse(
+            g,
+            np.arange(g.n, dtype=np.int64),
+            0,
+            True,
+            params,
+            g.n,
+            rng,
+            method,
+            tracker,
+            out,
+            star_weights=star_weights,
+        )
+    meta = {
+        "epsilon": params.epsilon,
+        "delta": params.delta,
+        "gamma1": params.gamma1,
+        "gamma2": params.gamma2,
+        "beta0": params.beta0(g.n),
+        "rho": params.rho(g.n),
+        "n_final": float(params.n_final(g.n)),
+    }
+    return out.finish(g, meta)

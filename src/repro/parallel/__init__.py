@@ -1,0 +1,15 @@
+"""Real (OS-level) parallel execution helpers.
+
+CPython's GIL prevents shared-memory PRAM-style threading for CPU-bound
+kernels, so the only real parallelism available is process-based.  The
+algorithms in this package are written against the PRAM *cost model*
+(:mod:`repro.pram`); this subpackage additionally offers a process-pool
+map for the embarrassingly parallel outer loops (independent BFS
+sources, independent weight-scale hopsets, benchmark repetitions) with
+a serial fallback when only one core is available.
+"""
+
+from repro.parallel.pool import parallel_map, effective_workers
+from repro.parallel.chunking import split_indices, block_ranges
+
+__all__ = ["parallel_map", "effective_workers", "split_indices", "block_ranges"]

@@ -1,0 +1,43 @@
+"""Shortest-path kernels: BFS, weighted BFS, limited Bellman–Ford, Dijkstra.
+
+These are the substrates the paper's constructions consume:
+
+* level-synchronous **parallel BFS** [UY91] — used by the unweighted
+  EST clustering and for center-to-all distances inside hopset levels;
+* **weighted parallel BFS** (bucketed / Dial) — the "weighted parallel
+  BFS" of Section 5, whose depth is the number of *distance levels*;
+* **h-hop-limited Bellman–Ford** — evaluates ``dist^h_{E ∪ E'}``, i.e.
+  the hopset query of Klein–Subramanian [KS97];
+* **Dijkstra** — the exact sequential baseline.
+"""
+
+from repro.paths.bfs import bfs, multi_source_bfs, bfs_with_start_times
+from repro.paths.weighted_bfs import dial_sssp, weighted_bfs_with_start_times
+from repro.paths.bellman_ford import (
+    ArcSet,
+    arcs_from_graph,
+    combine_arcs,
+    hop_limited_distances,
+    hop_limited_sssp,
+)
+from repro.paths.dijkstra import dijkstra, dijkstra_scipy, st_distance
+from repro.paths.trees import extract_path, tree_depths, verify_sssp_tree
+
+__all__ = [
+    "bfs",
+    "multi_source_bfs",
+    "bfs_with_start_times",
+    "dial_sssp",
+    "weighted_bfs_with_start_times",
+    "ArcSet",
+    "arcs_from_graph",
+    "combine_arcs",
+    "hop_limited_distances",
+    "hop_limited_sssp",
+    "dijkstra",
+    "dijkstra_scipy",
+    "st_distance",
+    "extract_path",
+    "tree_depths",
+    "verify_sssp_tree",
+]

@@ -1,0 +1,183 @@
+"""Level-synchronous parallel BFS with vectorized frontier expansion.
+
+One BFS level = one PRAM round: gather all arcs out of the frontier,
+claim unvisited endpoints, resolve concurrent claims.  Work per round is
+the number of frontier arcs — total O(m) over the whole search — and
+depth is (number of levels) x (depth per round), exactly the accounting
+the paper uses (Lemma 2.1, [UY91]).
+
+Concurrent-claim resolution implements the paper's "arbitrary tie
+breaking" CRCW write deterministically: among all claims on a vertex
+the one with the smallest ``(priority, source)`` key wins, which keeps
+runs reproducible for a fixed seed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.pram.tracker import PramTracker, null_tracker
+
+INF = np.iinfo(np.int64).max
+
+
+def _frontier_arcs(g: CSRGraph, frontier: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """All CSR slots out of ``frontier``: returns (arc_index, arc_source).
+
+    Vectorized "expand": per-vertex adjacency ranges are flattened with
+    a repeat + cumulative-offset trick (no Python loop over vertices).
+    """
+    starts = g.indptr[frontier]
+    counts = g.indptr[frontier + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, np.int64), np.empty(0, np.int64)
+    # arc_index[i] = starts[j] + (i - offset[j]) for the j-th frontier vertex
+    offsets = np.repeat(np.cumsum(counts) - counts, counts)
+    arc_index = np.arange(total, dtype=np.int64) - offsets + np.repeat(starts, counts)
+    arc_source = np.repeat(frontier, counts)
+    return arc_index, arc_source
+
+
+def multi_source_bfs(
+    g: CSRGraph,
+    sources: np.ndarray,
+    tracker: Optional[PramTracker] = None,
+    max_levels: Optional[int] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Unweighted multi-source BFS.
+
+    Returns ``(dist, parent, owner)``: hop distance to the nearest
+    source, BFS-tree parent (-1 at sources/unreached), and the id of the
+    source that claimed each vertex (-1 if unreached).
+    """
+    sources = np.asarray(sources, dtype=np.int64)
+    return bfs_with_start_times(
+        g,
+        start_time=np.zeros(sources.shape[0], dtype=np.int64),
+        source_ids=sources,
+        tracker=tracker,
+        max_levels=max_levels,
+    )[1:]
+
+
+def bfs(
+    g: CSRGraph, source: int, tracker: Optional[PramTracker] = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Single-source BFS; returns ``(dist, parent)``."""
+    dist, parent, _ = multi_source_bfs(g, np.asarray([source]), tracker)
+    return dist, parent
+
+
+def bfs_with_start_times(
+    g: CSRGraph,
+    start_time: np.ndarray,
+    source_ids: np.ndarray,
+    priority: Optional[np.ndarray] = None,
+    tracker: Optional[PramTracker] = None,
+    max_levels: Optional[int] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """BFS race with per-source integer start times.
+
+    This is the engine of unweighted EST clustering: source ``i`` wakes
+    up at round ``start_time[i]`` and floods outward one hop per round;
+    each vertex is claimed by the first wave to arrive, ties broken by
+    the smaller ``priority`` (defaults to source order).
+
+    Returns ``(arrival, dist, parent, owner)`` where ``arrival`` is the
+    round each vertex was claimed (start-shifted), ``dist`` is
+    ``arrival - start_time[owner]`` (hops from the owning source),
+    ``parent`` the claiming arc's tail, and ``owner`` the source id.
+    """
+    tracker = tracker or null_tracker()
+    start_time = np.asarray(start_time, dtype=np.int64)
+    source_ids = np.asarray(source_ids, dtype=np.int64)
+    k = source_ids.shape[0]
+    if priority is None:
+        priority = np.arange(k, dtype=np.float64)
+    priority = np.asarray(priority, dtype=np.float64)
+
+    n = g.n
+    arrival = np.full(n, INF, dtype=np.int64)
+    parent = np.full(n, -1, dtype=np.int64)
+    owner = np.full(n, -1, dtype=np.int64)
+    owner_prio = np.full(n, np.inf, dtype=np.float64)
+    # per-vertex start info (a vertex may be listed as a source more than
+    # once; the smallest (start, priority) wins)
+    order = np.lexsort((priority, start_time))
+    t = start_time[order]
+    sid = source_ids[order]
+    pr = priority[order]
+
+    frontier = np.empty(0, np.int64)
+    round_no = 0
+    src_ptr = 0  # next not-yet-woken source in (t, sid, pr) order
+    levels = 0
+    while True:
+        # wake sources scheduled for this round that are still unclaimed
+        while src_ptr < k and t[src_ptr] <= round_no:
+            v = sid[src_ptr]
+            if arrival[v] == INF:
+                arrival[v] = round_no
+                owner[v] = sid[src_ptr]
+                owner_prio[v] = pr[src_ptr]
+                parent[v] = -1
+                frontier = np.append(frontier, v)
+            src_ptr += 1
+
+        if frontier.size == 0:
+            if src_ptr >= k:
+                break
+            round_no = int(t[src_ptr])  # fast-forward to next wake-up
+            continue
+
+        arc_idx, arc_src = _frontier_arcs(g, frontier)
+        tracker.parallel_round(work=max(int(arc_idx.shape[0]), int(frontier.shape[0])))
+        levels += 1
+        nbr = g.indices[arc_idx]
+        unclaimed = arrival[nbr] == INF
+        nbr = nbr[unclaimed]
+        arc_src = arc_src[unclaimed]
+        new_frontier = np.empty(0, np.int64)
+        if nbr.size:
+            # resolve concurrent claims: min priority per neighbor wins
+            claim_prio = owner_prio[arc_src]
+            sel = np.lexsort((claim_prio, nbr))
+            nbr_s, src_s, prio_s = nbr[sel], arc_src[sel], claim_prio[sel]
+            first = np.empty(nbr_s.shape[0], dtype=bool)
+            first[0] = True
+            np.not_equal(nbr_s[1:], nbr_s[:-1], out=first[1:])
+            win_v = nbr_s[first]
+            win_p = src_s[first]
+            arrival[win_v] = round_no + 1
+            parent[win_v] = win_p
+            owner[win_v] = owner[win_p]
+            owner_prio[win_v] = owner_prio[win_p]
+            new_frontier = win_v
+        frontier = new_frontier
+        round_no += 1
+        if max_levels is not None and levels >= max_levels:
+            break
+
+    dist = np.where(
+        arrival == INF,
+        INF,
+        arrival - _start_of(owner, source_ids, start_time, n),
+    )
+    return arrival, dist, parent, owner
+
+
+def _start_of(owner: np.ndarray, source_ids: np.ndarray, start_time: np.ndarray, n: int) -> np.ndarray:
+    """Map each vertex's owning source id to that source's start time.
+
+    If a source id appears several times, the earliest start is the one
+    that could have claimed vertices, so the table keeps the minimum.
+    """
+    table = np.full(n, np.iinfo(np.int64).max, dtype=np.int64)
+    np.minimum.at(table, source_ids, start_time)
+    safe_owner = np.where(owner >= 0, owner, 0)
+    out = table[safe_owner]
+    return np.where(owner >= 0, out, 0)

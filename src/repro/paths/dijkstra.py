@@ -1,0 +1,87 @@
+"""Exact shortest paths: heap Dijkstra and the scipy oracle.
+
+Dijkstra is the sequential baseline of Theorem 1.2's comparison (the
+thing the parallel pipeline must beat in depth while staying within
+polylog factors in work).  The heap implementation supports real-valued
+start offsets, which is what makes *exact* EST clustering possible
+(cluster of v = argmin_u dist(u,v) - delta_u is a Dijkstra race with
+initial keys delta_max - delta_u).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+
+def dijkstra(
+    g: CSRGraph,
+    sources: np.ndarray | int,
+    offsets: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Multi-source Dijkstra with optional real start offsets.
+
+    Returns ``(dist, parent, owner)``: ``dist[v]`` is
+    ``min_i offsets[i] + d(sources[i], v)``, ``owner[v]`` the arg-min
+    source (ties broken toward the earlier entry in ``sources``), and
+    ``parent`` the shortest-path-tree parent.
+    """
+    if np.isscalar(sources):
+        sources = np.asarray([sources])
+    sources = np.asarray(sources, dtype=np.int64)
+    if offsets is None:
+        offsets = np.zeros(sources.shape[0], dtype=np.float64)
+    offsets = np.asarray(offsets, dtype=np.float64)
+
+    n = g.n
+    dist = np.full(n, np.inf, dtype=np.float64)
+    parent = np.full(n, -1, dtype=np.int64)
+    owner = np.full(n, -1, dtype=np.int64)
+    done = np.zeros(n, dtype=bool)
+
+    heap: list[tuple[float, int, int, int, int]] = []
+    for i, (s, off) in enumerate(zip(sources, offsets)):
+        # tuple: (key, tie, vertex, parent, owner); `tie` makes pops
+        # deterministic when keys collide.
+        heapq.heappush(heap, (float(off), i, int(s), -1, int(s)))
+
+    indptr, indices, weights = g.indptr, g.indices, g.weights
+    while heap:
+        d, _, v, p, o = heapq.heappop(heap)
+        if done[v]:
+            continue
+        done[v] = True
+        dist[v] = d
+        parent[v] = p
+        owner[v] = o
+        for j in range(indptr[v], indptr[v + 1]):
+            u = int(indices[j])
+            if not done[u]:
+                nd = d + float(weights[j])
+                if nd < dist[u]:
+                    dist[u] = nd
+                    heapq.heappush(heap, (nd, v, u, v, o))
+    return dist, parent, owner
+
+
+def dijkstra_scipy(g: CSRGraph, source: int) -> np.ndarray:
+    """Single-source distances via scipy's C implementation (test oracle)."""
+    from scipy.sparse.csgraph import dijkstra as sp_dijkstra
+
+    return sp_dijkstra(g.to_scipy(), directed=False, indices=source)
+
+
+def st_distance(g: CSRGraph, s: int, t: int) -> float:
+    """Exact s-t distance (scipy)."""
+    return float(dijkstra_scipy(g, s)[t])
+
+
+def all_pairs_distances(g: CSRGraph) -> np.ndarray:
+    """Dense APSP matrix via scipy (small graphs / verification only)."""
+    from scipy.sparse.csgraph import dijkstra as sp_dijkstra
+
+    return sp_dijkstra(g.to_scipy(), directed=False)

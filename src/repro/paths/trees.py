@@ -1,0 +1,86 @@
+"""Parent-array tree utilities: path extraction, depth, verification."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import VerificationError
+from repro.graph.csr import CSRGraph
+
+
+def extract_path(parent: np.ndarray, t: int) -> List[int]:
+    """Walk parents from ``t`` to its root; returns [root, ..., t].
+
+    Raises :class:`VerificationError` on a cycle (walk longer than n).
+    """
+    path = [int(t)]
+    v = int(t)
+    limit = parent.shape[0] + 1
+    while parent[v] != -1:
+        v = int(parent[v])
+        path.append(v)
+        if len(path) > limit:
+            raise VerificationError("parent array contains a cycle")
+    path.reverse()
+    return path
+
+
+def tree_depths(parent: np.ndarray, weights: Optional[np.ndarray] = None) -> np.ndarray:
+    """Depth (hop count, or weighted if ``weights[v]`` = w(parent edge)) of each vertex.
+
+    Roots (parent -1) have depth 0; implemented with pointer-jumping
+    style passes so deep paths don't hit the recursion limit.
+    """
+    n = parent.shape[0]
+    step = np.where(parent >= 0, (weights if weights is not None else np.ones(n)), 0.0)
+    # vectorized ladder climb: every pass each active vertex absorbs its
+    # current ancestor's step and moves one level up.  O(n * height)
+    # work but each pass is a C-speed sweep.
+    depth = np.zeros(n, dtype=np.float64)
+    cur = parent.copy()
+    contrib = step.copy()
+    while True:
+        active = cur >= 0
+        if not active.any():
+            break
+        depth[active] += contrib[active]
+        safe = np.where(active, cur, 0)
+        contrib = np.where(active, step[safe], 0.0)
+        cur = np.where(active, parent[safe], -1)
+    return depth
+
+
+def verify_sssp_tree(
+    g: CSRGraph, dist: np.ndarray, parent: np.ndarray, tol: float = 1e-9
+) -> None:
+    """Check that (dist, parent) is a valid shortest-path forest of ``g``.
+
+    Conditions: every non-root vertex's parent is a neighbor with
+    ``dist[v] == dist[p] + w(p, v)``; every edge satisfies the triangle
+    inequality ``|dist[u] - dist[v]| <= w(u, v)`` (within reachable
+    components).  Raises VerificationError otherwise.
+    """
+    n = g.n
+    for v in range(n):
+        p = int(parent[v])
+        if p == -1:
+            continue
+        nbrs = g.neighbors(v)
+        ws = g.neighbor_weights(v)
+        hit = np.flatnonzero(nbrs == p)
+        if hit.size == 0:
+            raise VerificationError(f"parent {p} of {v} is not a neighbor")
+        w_pv = float(ws[hit].min())
+        if abs(dist[v] - (dist[p] + w_pv)) > tol * max(1.0, abs(dist[v])):
+            raise VerificationError(
+                f"tree edge ({p},{v}) inconsistent: {dist[v]} != {dist[p]} + {w_pv}"
+            )
+    du = dist[g.edge_u]
+    dv = dist[g.edge_v]
+    both = np.isfinite(du) & np.isfinite(dv)
+    slack = np.abs(du[both] - dv[both]) - g.edge_w[both]
+    if (slack > tol).any():
+        k = int(np.argmax(slack))
+        raise VerificationError(f"triangle inequality violated by edge index {k}")

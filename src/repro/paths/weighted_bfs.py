@@ -1,0 +1,149 @@
+"""Weighted parallel BFS (bucketed Dial search).
+
+Section 5 of the paper runs "weighted parallel BFS" on graphs whose
+edge weights have been rounded to small positive integers: the search
+advances one *distance level* per round, so its PRAM depth is the
+number of levels — which the Klein–Subramanian rounding (Lemma 5.2)
+bounds by ``O(c k / ζ)``.
+
+:func:`dial_sssp` implements this as a bucket-queue (Dial) search whose
+rounds are charged to the tracker; it is exact for integer weights.
+:func:`weighted_bfs_with_start_times` is the weighted EST-clustering
+engine: a race between all vertices with integer start times.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.pram.tracker import PramTracker, null_tracker
+
+INF = np.iinfo(np.int64).max
+
+
+def dial_sssp(
+    g: CSRGraph,
+    sources: np.ndarray,
+    weights_int: Optional[np.ndarray] = None,
+    offsets: Optional[np.ndarray] = None,
+    max_dist: Optional[int] = None,
+    tracker: Optional[PramTracker] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+    """Multi-source SSSP on integer weights by bucketed level sweeps.
+
+    Parameters
+    ----------
+    g:
+        Graph; ``weights_int`` overrides its weights (per CSR slot).
+    sources:
+        Source vertex ids.
+    offsets:
+        Optional non-negative integer start offsets per source (the
+        shifted-start race of EST clustering).
+    max_dist:
+        Stop once the sweep level exceeds this (distances beyond stay INF).
+
+    Returns ``(dist, parent, owner, levels)``; ``levels`` is the number
+    of distance levels swept, i.e. the PRAM depth in rounds.
+    """
+    tracker = tracker or null_tracker()
+    sources = np.asarray(sources, dtype=np.int64)
+    if weights_int is None:
+        w = g.weights.astype(np.int64)
+        if not np.array_equal(w.astype(np.float64), g.weights):
+            raise ValueError("dial_sssp requires integer weights; pass weights_int")
+    else:
+        w = np.asarray(weights_int, dtype=np.int64)
+    if (w < 1).any():
+        raise ValueError("dial_sssp requires weights >= 1")
+    if offsets is None:
+        offsets = np.zeros(sources.shape[0], dtype=np.int64)
+    offsets = np.asarray(offsets, dtype=np.int64)
+
+    n = g.n
+    dist = np.full(n, INF, dtype=np.int64)
+    parent = np.full(n, -1, dtype=np.int64)
+    owner = np.full(n, -1, dtype=np.int64)
+
+    # buckets keyed by tentative distance; lazy deletion on pop
+    buckets: dict[int, list[tuple[int, int, int]]] = {}
+
+    def push(d: int, v: int, p: int, o: int) -> None:
+        buckets.setdefault(d, []).append((v, p, o))
+
+    for s, off in zip(sources, offsets):
+        if int(off) < dist[s]:
+            dist[s] = int(off)
+            push(int(off), int(s), -1, int(s))
+
+    level = 0
+    levels_swept = 0
+    if buckets:
+        level = min(buckets)
+    while buckets:
+        entries = buckets.pop(level, None)
+        if entries is None:
+            if not buckets:
+                break
+            level = min(buckets)
+            continue
+        # settle vertices whose tentative distance equals the level
+        settled = [(v, p, o) for (v, p, o) in entries if dist[v] == level and owner[v] == -1]
+        if settled:
+            levels_swept += 1
+            frontier = np.asarray([v for v, _, _ in settled], dtype=np.int64)
+            for v, p, o in settled:
+                parent[v] = p
+                owner[v] = o
+            # relax all arcs out of the settled frontier (vectorized gather)
+            starts = g.indptr[frontier]
+            counts = g.indptr[frontier + 1] - starts
+            total = int(counts.sum())
+            tracker.parallel_round(work=max(total, len(settled)))
+            if total:
+                off2 = np.repeat(np.cumsum(counts) - counts, counts)
+                arc = np.arange(total, dtype=np.int64) - off2 + np.repeat(starts, counts)
+                srcs = np.repeat(frontier, counts)
+                nbrs = g.indices[arc]
+                nd = dist[srcs] + w[arc]
+                better = nd < dist[nbrs]
+                for a_i, v_i, d_i in zip(srcs[better], nbrs[better], nd[better]):
+                    d_i = int(d_i)
+                    if d_i < dist[v_i]:
+                        dist[v_i] = d_i
+                        if max_dist is None or d_i <= max_dist:
+                            push(d_i, int(v_i), int(a_i), int(owner[a_i]))
+        level += 1
+        if max_dist is not None and level > max_dist:
+            break
+
+    unreached = owner == -1
+    dist[unreached] = INF
+    return dist, parent, owner, levels_swept
+
+
+def weighted_bfs_with_start_times(
+    g: CSRGraph,
+    start_time: np.ndarray,
+    weights_int: Optional[np.ndarray] = None,
+    tracker: Optional[PramTracker] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+    """Race all vertices with integer start offsets over integer weights.
+
+    Used by the weighted EST clustering: every vertex is a source with
+    offset ``start_time[v]``; returns ``(shifted_dist, parent, owner,
+    levels)``.  The true distance from a vertex to its owning center is
+    ``shifted_dist[v] - start_time[owner[v]]``.
+    """
+    sources = np.arange(g.n, dtype=np.int64)
+    return dial_sssp(
+        g,
+        sources,
+        weights_int=weights_int,
+        offsets=np.asarray(start_time, dtype=np.int64),
+        tracker=tracker,
+    )

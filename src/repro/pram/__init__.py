@@ -1,0 +1,52 @@
+"""PRAM work/depth cost model.
+
+The paper analyses its algorithms in the CRCW PRAM model: *work* is the
+total number of operations, *depth* the longest chain of dependent
+operations.  Real shared-memory PRAM is unavailable in CPython (GIL),
+so — per the substitution table in DESIGN.md — we *measure the model*:
+every algorithm threads a :class:`~repro.pram.tracker.PramTracker`
+through its parallel primitives, and the benchmarks report the ledger
+(alongside wall-clock time of the vectorized kernels).
+
+The tracker also implements the paper's ``log* n`` convention: one
+concurrent-write round on the CRCW PRAM costs ``O(log* n)`` depth
+[GMV91]; the per-round charge is configurable because "this factor
+depends on the model of parallelism" (paper, Appendix A).
+"""
+
+from repro.pram.tracker import PramTracker, null_tracker, log_star
+from repro.pram.primitives import (
+    charge_prefix_sum,
+    charge_filter,
+    charge_semisort,
+    charge_reduce,
+    charge_pointer_jumping,
+)
+from repro.pram.report import LedgerReport, fit_scaling_exponent
+from repro.pram.speedup import (
+    SpeedupPoint,
+    brent_time,
+    max_useful_processors,
+    processors_for_speedup,
+    speedup_curve,
+    tracker_curve,
+)
+
+__all__ = [
+    "PramTracker",
+    "null_tracker",
+    "log_star",
+    "charge_prefix_sum",
+    "charge_filter",
+    "charge_semisort",
+    "charge_reduce",
+    "charge_pointer_jumping",
+    "LedgerReport",
+    "fit_scaling_exponent",
+    "SpeedupPoint",
+    "brent_time",
+    "max_useful_processors",
+    "processors_for_speedup",
+    "speedup_curve",
+    "tracker_curve",
+]

@@ -1,0 +1,150 @@
+"""Work/depth ledger for the CRCW PRAM cost model.
+
+Usage pattern::
+
+    tracker = PramTracker(n=graph.n)
+    with tracker.phase("clustering"):
+        tracker.parallel_round(work=frontier_edges)   # one BFS round
+    print(tracker.work, tracker.depth)
+
+Parallel composition: when k independent sub-computations run "in
+parallel" (e.g. recursive hopset calls on disjoint clusters), their
+works add but their depths max.  :meth:`PramTracker.parallel_children`
+handles the merge.
+"""
+
+from __future__ import annotations
+
+import math
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+
+def log_star(n: float) -> int:
+    """Iterated logarithm (base 2); log*(n) <= 5 for any feasible n."""
+    count = 0
+    x = float(n)
+    while x > 1.0:
+        x = math.log2(x)
+        count += 1
+    return count
+
+
+@dataclass
+class PramTracker:
+    """Accumulates PRAM work and depth across algorithm phases.
+
+    Parameters
+    ----------
+    n:
+        Problem size used to fix the per-round depth charge
+        (``depth_per_round = max(1, log*(n))`` unless overridden).
+    depth_per_round:
+        Depth charged per concurrent-write round; the paper's CRCW
+        model charges ``O(log* n)`` [GMV91].
+    enabled:
+        Disabled trackers cost nothing and record nothing; algorithms
+        can always call tracker methods unconditionally.
+    """
+
+    n: int = 0
+    depth_per_round: Optional[int] = None
+    enabled: bool = True
+    work: int = 0
+    depth: int = 0
+    phase_work: Dict[str, int] = field(default_factory=dict)
+    phase_depth: Dict[str, int] = field(default_factory=dict)
+    rounds: int = 0
+    _phase_stack: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.depth_per_round is None:
+            self.depth_per_round = max(1, log_star(max(self.n, 2)))
+
+    # ------------------------------------------------------------------
+    def charge(self, work: int = 0, depth: int = 0) -> None:
+        """Raw charge: add ``work`` and ``depth`` to the ledger."""
+        if not self.enabled:
+            return
+        work = int(work)
+        depth = int(depth)
+        self.work += work
+        self.depth += depth
+        for ph in self._phase_stack:
+            self.phase_work[ph] = self.phase_work.get(ph, 0) + work
+            self.phase_depth[ph] = self.phase_depth.get(ph, 0) + depth
+
+    def parallel_round(self, work: int, rounds: int = 1) -> None:
+        """``rounds`` synchronous PRAM rounds doing ``work`` total operations.
+
+        Each round costs ``depth_per_round`` depth (the CRCW log* n
+        convention); work is the number of processor-operations.
+        """
+        if not self.enabled:
+            return
+        self.rounds += int(rounds)
+        self.charge(work=work, depth=int(rounds) * self.depth_per_round)
+
+    def sequential(self, work: int) -> None:
+        """A sequential scan: depth equals work (used for scalar fallbacks)."""
+        self.charge(work=work, depth=work)
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Attribute nested charges to ``name`` (phases may nest)."""
+        self._phase_stack.append(name)
+        try:
+            yield
+        finally:
+            self._phase_stack.pop()
+
+    # ------------------------------------------------------------------
+    def fork(self) -> "PramTracker":
+        """Create a child tracker for one branch of a parallel composition."""
+        return PramTracker(n=self.n, depth_per_round=self.depth_per_round, enabled=self.enabled)
+
+    def parallel_children(self, children: List["PramTracker"]) -> None:
+        """Merge independent children: works add, depths max (PRAM semantics)."""
+        if not self.enabled or not children:
+            return
+        total_work = sum(c.work for c in children)
+        max_depth = max(c.depth for c in children)
+        self.rounds += max(c.rounds for c in children)
+        self.charge(work=total_work, depth=max_depth)
+        for c in children:
+            for ph, w in c.phase_work.items():
+                self.phase_work[ph] = self.phase_work.get(ph, 0) + w
+            for ph, d in c.phase_depth.items():
+                self.phase_depth[ph] = max(self.phase_depth.get(ph, 0), d)
+
+    def sequential_children(self, children: List["PramTracker"]) -> None:
+        """Merge dependent children: works add, depths add."""
+        if not self.enabled or not children:
+            return
+        self.rounds += sum(c.rounds for c in children)
+        self.charge(
+            work=sum(c.work for c in children), depth=sum(c.depth for c in children)
+        )
+        for c in children:
+            for ph, w in c.phase_work.items():
+                self.phase_work[ph] = self.phase_work.get(ph, 0) + w
+            for ph, d in c.phase_depth.items():
+                self.phase_depth[ph] = self.phase_depth.get(ph, 0) + d
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, int]:
+        return {"work": self.work, "depth": self.depth, "rounds": self.rounds}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PramTracker(work={self.work}, depth={self.depth}, rounds={self.rounds})"
+
+
+def null_tracker() -> PramTracker:
+    """A disabled tracker: all charges are no-ops.
+
+    Algorithms default to this so the cost model adds zero overhead
+    when nobody is measuring.
+    """
+    return PramTracker(n=2, enabled=False)

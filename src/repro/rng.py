@@ -1,0 +1,38 @@
+"""Seeded randomness discipline.
+
+Every stochastic routine in this package accepts a ``seed`` argument
+that may be ``None`` (fresh entropy), an integer, or an existing
+:class:`numpy.random.Generator`.  :func:`resolve_rng` normalizes all
+three into a Generator, so nested calls can split determinism from a
+single top-level seed via :func:`spawn`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def resolve_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Passing an existing Generator returns it unchanged (shared state);
+    anything else seeds a fresh PCG64 stream.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Split ``rng`` into ``n`` independent child generators.
+
+    Used by recursive algorithms (e.g. the hopset construction) so that
+    parallel sub-problems draw from non-overlapping streams and results
+    are reproducible regardless of recursion order.
+    """
+    seeds = rng.integers(0, 2**63 - 1, size=n, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]

@@ -1,0 +1,229 @@
+"""Baseline spanner constructions for the Figure 1 comparison.
+
+* :func:`baswana_sen_spanner` — the randomized (2k-1)-spanner of
+  Baswana & Sen [BS07], the "previous best" parallel/distributed row of
+  Figure 1: expected size O(k n^(1+1/k)), O(km) work.  Implemented
+  faithfully (two phases, cluster sampling with probability n^(-1/k)),
+  with iterations vectorized across vertices.
+* :func:`greedy_spanner` — the classic greedy t-spanner [ADD+93]:
+  optimal size guarantees, O(m n log n) time; the exactness anchor on
+  small graphs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.graph.csr import CSRGraph
+from repro.pram.tracker import PramTracker, null_tracker
+from repro.rng import SeedLike, resolve_rng
+from repro.spanners.result import SpannerResult
+
+
+def baswana_sen_spanner(
+    g: CSRGraph,
+    k: int,
+    seed: SeedLike = None,
+    tracker: Optional[PramTracker] = None,
+) -> SpannerResult:
+    """Baswana–Sen randomized (2k-1)-spanner.
+
+    Phase 1 runs k-1 rounds of cluster sampling; phase 2 connects every
+    surviving vertex to each adjacent final cluster by its lightest
+    edge.  Works on weighted and unweighted graphs.
+    """
+    if k < 1:
+        raise ParameterError("k must be a positive integer")
+    tracker = tracker or null_tracker()
+    rng = resolve_rng(seed)
+    n, m = g.n, g.m
+    if m == 0:
+        return SpannerResult(graph=g, edge_ids=np.empty(0, np.int64), stretch_bound=2 * k - 1)
+
+    p_sample = n ** (-1.0 / k)
+    cluster = np.arange(n, dtype=np.int64)  # cluster center per vertex; -1 = unclustered
+    alive = np.ones(m, dtype=bool)  # E', the working edge set
+    kept: List[np.ndarray] = []
+
+    def _vertex_cluster_lightest(active_src_mask: np.ndarray):
+        """Group alive arcs (src active, dst clustered) by (src, dst-cluster);
+        return per-group lightest arc columns (v, c, w, eid)."""
+        src = np.concatenate([g.edge_u, g.edge_v])
+        dst = np.concatenate([g.edge_v, g.edge_u])
+        eid = np.concatenate([np.arange(m), np.arange(m)])
+        a2 = np.concatenate([alive, alive])
+        sel = a2 & active_src_mask[src] & (cluster[dst] >= 0)
+        v, c, w, e = src[sel], cluster[dst[sel]], g.edge_w[np.concatenate([np.arange(m)] * 2)[sel]], eid[sel]
+        if v.size == 0:
+            return v, c, w, e
+        order = np.lexsort((e, w, c, v))
+        v, c, w, e = v[order], c[order], w[order], e[order]
+        first = np.empty(v.shape[0], dtype=bool)
+        first[0] = True
+        np.not_equal(v[1:], v[:-1], out=first[1:])
+        first[1:] |= c[1:] != c[:-1]
+        return v[first], c[first], w[first], e[first]
+
+    for _ in range(k - 1):
+        tracker.parallel_round(work=2 * int(alive.sum()) + n, rounds=3)
+        clustered = cluster >= 0
+        centers = np.unique(cluster[clustered])
+        sampled_mask_by_center = np.zeros(n, dtype=bool)
+        sampled_mask_by_center[centers[rng.random(centers.shape[0]) < p_sample]] = True
+        in_sampled = clustered & sampled_mask_by_center[np.maximum(cluster, 0)]
+
+        # vertices that must act: clustered but not in a sampled cluster
+        actor = clustered & ~in_sampled
+        v, c, w, e = _vertex_cluster_lightest(actor)
+        new_cluster = np.where(in_sampled, cluster, -1)
+
+        if v.size:
+            is_sampled_c = sampled_mask_by_center[c]
+            # lightest sampled-cluster edge per vertex
+            has_sampled = np.zeros(n, dtype=bool)
+            best_w = np.full(n, np.inf)
+            best_e = np.full(n, -1, np.int64)
+            best_c = np.full(n, -1, np.int64)
+            vs, cs, ws, es = v[is_sampled_c], c[is_sampled_c], w[is_sampled_c], e[is_sampled_c]
+            # rows are sorted by (v, c, w); per-v min needs a pass
+            if vs.size:
+                order2 = np.lexsort((es, ws, vs))
+                vs, cs, ws, es = vs[order2], cs[order2], ws[order2], es[order2]
+                first2 = np.empty(vs.shape[0], dtype=bool)
+                first2[0] = True
+                np.not_equal(vs[1:], vs[:-1], out=first2[1:])
+                has_sampled[vs[first2]] = True
+                best_w[vs[first2]] = ws[first2]
+                best_e[vs[first2]] = es[first2]
+                best_c[vs[first2]] = cs[first2]
+
+            # case (a): no sampled neighbor -> keep lightest edge per
+            # adjacent cluster, vertex leaves the clustering, all its
+            # alive edges die.
+            case_a_rows = ~has_sampled[v]
+            if case_a_rows.any():
+                kept.append(e[case_a_rows])
+                gone = np.unique(v[case_a_rows])
+                dead = np.isin(g.edge_u, gone) | np.isin(g.edge_v, gone)
+                alive &= ~dead
+
+            # case (b): join the nearest sampled cluster via best_e and
+            # keep lighter-than-best edges to other clusters; edges to
+            # those clusters and to the joined cluster die.
+            case_b_verts = np.unique(v[~case_a_rows]) if (~case_a_rows).any() else np.empty(0, np.int64)
+            if case_b_verts.size:
+                kept.append(best_e[case_b_verts])
+                new_cluster[case_b_verts] = best_c[case_b_verts]
+                rows_b = ~case_a_rows & (w < best_w[v])
+                if rows_b.any():
+                    kept.append(e[rows_b])
+                # kill edge groups: (v, cluster) pairs with kept edges or joined
+                kill_pairs_v = np.concatenate([v[rows_b], case_b_verts])
+                kill_pairs_c = np.concatenate([c[rows_b], best_c[case_b_verts]])
+                _kill_vertex_cluster_edges(g, alive, cluster, kill_pairs_v, kill_pairs_c)
+            # actors that had no alive clustered neighbors at all simply
+            # leave the clustering with nothing kept (their edges were
+            # already resolved in earlier rounds)
+        cluster = new_cluster
+        # intra-cluster edges leave the working set
+        cu = cluster[g.edge_u]
+        cv = cluster[g.edge_v]
+        alive &= ~((cu >= 0) & (cu == cv))
+        # edges with an unclustered endpoint can never be processed again
+        alive &= (cu >= 0) & (cv >= 0)
+
+    # ---- phase 2: vertex-cluster joining over the final clustering ----
+    tracker.parallel_round(work=2 * int(alive.sum()) + n, rounds=2)
+    all_vertices = np.ones(n, dtype=bool)
+    v, c, w, e = _vertex_cluster_lightest(all_vertices)
+    if v.size:
+        # skip pairs inside the vertex's own cluster
+        off_cluster = cluster[v] != c
+        kept.append(e[off_cluster])
+
+    edge_ids = np.unique(np.concatenate(kept)) if kept else np.empty(0, np.int64)
+    return SpannerResult(
+        graph=g,
+        edge_ids=edge_ids,
+        stretch_bound=2 * k - 1,
+        meta={"k": float(k), "algorithm": 0.0},
+    )
+
+
+def _kill_vertex_cluster_edges(
+    g: CSRGraph,
+    alive: np.ndarray,
+    cluster: np.ndarray,
+    kv: np.ndarray,
+    kc: np.ndarray,
+) -> None:
+    """Deactivate every alive edge between vertex kv[i] and cluster kc[i].
+
+    Vectorized via membership testing on composite (vertex, cluster)
+    keys for both orientations of every edge.
+    """
+    if kv.size == 0:
+        return
+    n = g.n
+    kill_keys = np.unique(kv * np.int64(n) + kc)
+    cu = cluster[g.edge_u]
+    cv = cluster[g.edge_v]
+    key_uv = g.edge_u * np.int64(n) + np.where(cv >= 0, cv, n - 1)
+    key_vu = g.edge_v * np.int64(n) + np.where(cu >= 0, cu, n - 1)
+    hit = (np.isin(key_uv, kill_keys) & (cv >= 0)) | (np.isin(key_vu, kill_keys) & (cu >= 0))
+    alive &= ~hit
+
+
+def greedy_spanner(g: CSRGraph, t: float) -> SpannerResult:
+    """Greedy t-spanner [ADD+93]: scan edges by increasing weight, keep
+    an edge iff the spanner-so-far distance between its endpoints
+    exceeds ``t * w(e)``.
+
+    Exact and size-optimal in the (2k-1)/O(n^(1+1/k)) sense, but
+    O(m * Dijkstra) — use on small graphs only (tests, stretch anchors).
+    """
+    if t < 1:
+        raise ParameterError("stretch t must be >= 1")
+    import heapq
+
+    n, m = g.n, g.m
+    order = np.argsort(g.edge_w, kind="stable")
+    adj: List[List[tuple[int, float]]] = [[] for _ in range(n)]
+    kept: List[int] = []
+
+    def sp_dist(s: int, goal: int, cap: float) -> float:
+        # Dijkstra on the partial spanner, pruned at cap
+        dist = {s: 0.0}
+        heap = [(0.0, s)]
+        while heap:
+            d, v = heapq.heappop(heap)
+            if d > dist.get(v, math.inf):
+                continue
+            if v == goal:
+                return d
+            if d > cap:
+                return math.inf
+            for u, w in adj[v]:
+                nd = d + w
+                if nd < dist.get(u, math.inf) and nd <= cap:
+                    dist[u] = nd
+                    heapq.heappush(heap, (nd, u))
+        return math.inf
+
+    for ei in order:
+        u, v, w = int(g.edge_u[ei]), int(g.edge_v[ei]), float(g.edge_w[ei])
+        if sp_dist(u, v, t * w) > t * w:
+            kept.append(int(ei))
+            adj[u].append((v, w))
+            adj[v].append((u, w))
+
+    return SpannerResult(
+        graph=g,
+        edge_ids=np.asarray(sorted(kept), dtype=np.int64),
+        stretch_bound=t,
+        meta={"t": float(t)},
+    )

@@ -1,0 +1,183 @@
+"""Unit tests for EST clustering: Algorithm 1's invariants and both modes."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.clustering import (
+    Clustering,
+    adjacent_cluster_counts,
+    ball_cluster_count,
+    boundary_vertices,
+    cluster_radii,
+    cut_edge_mask,
+    cut_fraction,
+    est_cluster,
+    sample_shifts,
+    shift_upper_bound,
+)
+from repro.errors import ParameterError
+from repro.graph import gnm_random_graph, grid_graph, path_graph, with_random_weights
+from repro.paths.dijkstra import all_pairs_distances
+from repro.paths.trees import extract_path
+from repro.pram import PramTracker
+
+
+class TestShifts:
+    def test_sample_shape_and_positivity(self):
+        s = sample_shifts(100, 0.5, seed=1)
+        assert s.shape == (100,)
+        assert (s >= 0).all()
+
+    def test_mean_close_to_inverse_beta(self):
+        s = sample_shifts(20000, 0.25, seed=2)
+        assert s.mean() == pytest.approx(4.0, rel=0.05)
+
+    def test_invalid_beta(self):
+        with pytest.raises(ParameterError):
+            sample_shifts(10, 0.0)
+        with pytest.raises(ParameterError):
+            shift_upper_bound(10, -1.0)
+
+    def test_upper_bound_rarely_exceeded(self):
+        n, beta = 500, 0.3
+        bound = shift_upper_bound(n, beta, k=2.0)
+        exceed = 0
+        for seed in range(20):
+            s = sample_shifts(n, beta, seed=seed)
+            exceed += int(s.max() > bound)
+        # Pr[exceed] <= 1/n per trial
+        assert exceed <= 2
+
+
+class TestESTInvariants:
+    @pytest.mark.parametrize("method", ["exact", "round"])
+    def test_partition_valid(self, small_gnm, method):
+        c = est_cluster(small_gnm, 0.4, seed=5, method=method)
+        assert c.n == small_gnm.n
+        assert (c.center >= 0).all()
+        # centers own themselves and are their own roots
+        for ctr in c.centers:
+            assert c.center[ctr] == ctr
+            assert c.parent[ctr] == -1
+
+    @pytest.mark.parametrize("method", ["exact", "round"])
+    def test_clusters_connected_via_forest(self, small_gnm, method):
+        c = est_cluster(small_gnm, 0.4, seed=5, method=method)
+        for v in range(0, small_gnm.n, 7):
+            path = extract_path(c.parent, v)
+            assert path[0] == c.center[v]
+            assert (c.center[np.asarray(path)] == c.center[v]).all()
+
+    def test_exact_is_argmin_assignment(self, small_gnm):
+        c = est_cluster(small_gnm, 0.35, seed=9, method="exact")
+        D = all_pairs_distances(small_gnm)
+        key = D - c.shifts[:, None]
+        best = key.min(axis=0)
+        mine = key[c.center, np.arange(small_gnm.n)]
+        assert np.allclose(mine, best)
+
+    def test_round_mode_weighted_integer(self, small_int_weighted):
+        c = est_cluster(small_int_weighted, 0.2, seed=3, method="round")
+        assert (c.center >= 0).all()
+        assert c.rounds > 0
+
+    def test_round_mode_rejects_fractional_weights(self, small_weighted):
+        with pytest.raises(ParameterError):
+            est_cluster(small_weighted, 0.2, seed=3, method="round")
+
+    def test_auto_mode_dispatch(self, small_gnm, small_weighted):
+        c1 = est_cluster(small_gnm, 0.3, seed=1)  # unweighted -> round
+        c2 = est_cluster(small_weighted, 0.3, seed=1)  # fractional -> exact
+        assert c1.n == small_gnm.n and c2.n == small_weighted.n
+
+    def test_invalid_beta(self, small_gnm):
+        for bad in (0.0, -1.0, float("inf")):
+            with pytest.raises(ParameterError):
+                est_cluster(small_gnm, bad)
+
+    def test_provided_shifts_used(self, small_gnm):
+        shifts = np.zeros(small_gnm.n)
+        shifts[0] = 100.0  # vertex 0 starts far earlier than everyone
+        c = est_cluster(small_gnm, 0.3, shifts=shifts, method="exact")
+        assert (c.center == 0).all()
+
+    def test_wrong_shift_length_rejected(self, small_gnm):
+        with pytest.raises(ParameterError):
+            est_cluster(small_gnm, 0.3, shifts=np.zeros(3))
+
+    def test_deterministic_given_seed(self, small_gnm):
+        a = est_cluster(small_gnm, 0.4, seed=77, method="round")
+        b = est_cluster(small_gnm, 0.4, seed=77, method="round")
+        assert np.array_equal(a.center, b.center)
+
+    def test_sizes_and_labels_consistent(self, small_gnm):
+        c = est_cluster(small_gnm, 0.4, seed=5)
+        assert c.sizes.sum() == small_gnm.n
+        assert c.num_clusters == c.sizes.shape[0]
+        for lab in range(min(c.num_clusters, 5)):
+            assert c.members(lab).shape[0] == c.sizes[lab]
+
+    def test_tracker_records_rounds(self, small_grid):
+        t = PramTracker(n=small_grid.n, depth_per_round=1)
+        est_cluster(small_grid, 0.5, seed=2, method="round", tracker=t)
+        assert t.rounds > 0 and t.work > 0
+
+
+class TestDiagnostics:
+    def test_cut_mask_and_fraction(self, small_gnm):
+        c = est_cluster(small_gnm, 0.4, seed=5)
+        mask = cut_edge_mask(small_gnm, c)
+        assert mask.shape[0] == small_gnm.m
+        assert cut_fraction(small_gnm, c) == pytest.approx(mask.mean())
+
+    def test_high_beta_cuts_more(self, small_gnm):
+        rng = np.random.default_rng(0)
+        lo = np.mean([cut_fraction(small_gnm, est_cluster(small_gnm, 0.05, seed=rng)) for _ in range(5)])
+        hi = np.mean([cut_fraction(small_gnm, est_cluster(small_gnm, 1.5, seed=rng)) for _ in range(5)])
+        assert lo < hi
+
+    def test_cluster_radii_match_tree_depths(self, small_gnm):
+        c = est_cluster(small_gnm, 0.4, seed=5, method="exact")
+        radii = cluster_radii(c)
+        assert radii.shape[0] == c.num_clusters
+        assert (radii >= 0).all()
+        assert radii.max() == pytest.approx(c.dist_to_center.max())
+
+    def test_radius_bound_lemma21(self, small_gnm):
+        # radius <= 2 log(n)/beta w.p. >= 1 - 1/n; over 10 trials expect
+        # no violation on a 120-vertex graph
+        beta = 0.4
+        bound = 2 * math.log(small_gnm.n) / beta
+        for seed in range(10):
+            c = est_cluster(small_gnm, beta, seed=seed, method="exact")
+            assert cluster_radii(c).max() <= bound
+
+    def test_boundary_vertices_touch_cuts(self, small_gnm):
+        c = est_cluster(small_gnm, 0.4, seed=5)
+        bv = boundary_vertices(small_gnm, c)
+        mask = cut_edge_mask(small_gnm, c)
+        touched = set(small_gnm.edge_u[mask]) | set(small_gnm.edge_v[mask])
+        assert set(bv) == touched
+
+    def test_adjacent_cluster_counts(self, small_gnm):
+        c = est_cluster(small_gnm, 0.4, seed=5)
+        counts = adjacent_cluster_counts(small_gnm, c)
+        assert counts.shape[0] == small_gnm.n
+        # brute force check on a few vertices
+        lab = c.labels
+        for v in range(0, small_gnm.n, 17):
+            nbr_labs = set(int(lab[u]) for u in small_gnm.neighbors(v)) - {int(lab[v])}
+            assert counts[v] == len(nbr_labs)
+
+    def test_ball_cluster_count_radius_zero(self, small_gnm):
+        c = est_cluster(small_gnm, 0.4, seed=5)
+        assert ball_cluster_count(small_gnm, c, 0, 0.0) == 1
+
+    def test_singleton_graph(self):
+        from repro.graph import from_edges
+
+        g = from_edges(1, [])
+        c = est_cluster(g, 0.5, seed=1, method="exact")
+        assert c.num_clusters == 1

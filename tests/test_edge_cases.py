@@ -1,0 +1,125 @@
+"""Edge-case sweeps: structured graphs through every major algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import est_cluster
+from repro.graph import (
+    complete_graph,
+    cycle_graph,
+    from_edges,
+    path_graph,
+    random_tree,
+    star_graph,
+)
+from repro.hopsets import HopsetParams, build_hopset, hopset_distance
+from repro.spanners import (
+    baswana_sen_spanner,
+    max_edge_stretch,
+    unweighted_spanner,
+    verify_spanner,
+)
+
+PARAMS = HopsetParams(epsilon=0.5, delta=1.5, gamma1=0.15, gamma2=0.5)
+
+STRUCTURED = {
+    "star": star_graph(40),
+    "cycle": cycle_graph(40),
+    "complete": complete_graph(16),
+    "tree": random_tree(50, seed=1),
+    "path": path_graph(40),
+}
+
+
+class TestStructuredSpanners:
+    @pytest.mark.parametrize("name", sorted(STRUCTURED))
+    def test_spanner_valid_everywhere(self, name):
+        g = STRUCTURED[name]
+        sp = unweighted_spanner(g, 2, seed=3)
+        verify_spanner(g, sp)
+
+    def test_tree_spanner_is_whole_tree(self):
+        g = STRUCTURED["tree"]
+        sp = unweighted_spanner(g, 3, seed=4)
+        assert sp.size == g.m  # no edge of a tree is redundant
+
+    def test_star_spanner_keeps_all(self):
+        g = STRUCTURED["star"]
+        sp = unweighted_spanner(g, 2, seed=5)
+        assert sp.size == g.m  # every leaf edge is a bridge
+
+    def test_complete_graph_compresses(self):
+        g = STRUCTURED["complete"]
+        sizes = [unweighted_spanner(g, 2, seed=s).size for s in range(5)]
+        assert min(sizes) < g.m  # some run drops edges
+
+    def test_k_equals_one(self):
+        # k=1: beta = log(n)/2, fine-grained clustering, stretch still certified
+        g = STRUCTURED["cycle"]
+        sp = unweighted_spanner(g, 1, seed=6)
+        verify_spanner(g, sp)
+
+    @pytest.mark.parametrize("name", sorted(STRUCTURED))
+    def test_baswana_sen_valid_everywhere(self, name):
+        g = STRUCTURED[name]
+        sp = baswana_sen_spanner(g, 2, seed=7)
+        assert max_edge_stretch(g, sp) <= 3 + 1e-9
+
+
+class TestStructuredClustering:
+    @pytest.mark.parametrize("name", sorted(STRUCTURED))
+    @pytest.mark.parametrize("method", ["exact", "round"])
+    def test_est_valid_everywhere(self, name, method):
+        g = STRUCTURED[name]
+        c = est_cluster(g, 0.3, seed=8, method=method)
+        assert (c.center >= 0).all()
+        assert c.sizes.sum() == g.n
+
+    def test_extreme_beta_small(self):
+        # tiny beta: one giant cluster (w.h.p. one shift dominates)
+        g = cycle_graph(30)
+        counts = [est_cluster(g, 1e-4, seed=s).num_clusters for s in range(5)]
+        assert min(counts) == 1
+
+    def test_extreme_beta_large(self):
+        # huge beta: shifts ~0, almost everyone their own center
+        g = cycle_graph(30)
+        c = est_cluster(g, 50.0, seed=9, method="exact")
+        assert c.num_clusters >= 10
+
+    def test_two_vertex_graph(self):
+        g = path_graph(2)
+        c = est_cluster(g, 0.5, seed=10, method="exact")
+        assert c.num_clusters in (1, 2)
+
+
+class TestStructuredHopsets:
+    @pytest.mark.parametrize("name", ["cycle", "path", "tree"])
+    def test_hopset_valid_everywhere(self, name):
+        g = STRUCTURED[name]
+        hs = build_hopset(g, PARAMS, seed=11)
+        hs.verify_edge_weights()
+
+    def test_cycle_query_exact_ring_distance(self):
+        g = cycle_graph(40)
+        hs = build_hopset(g, PARAMS, seed=12)
+        d, hops = hopset_distance(hs, 0, 20)
+        assert d >= 20 - 1e-9
+        assert d <= PARAMS.predicted_distortion(g.n) * 20
+
+    def test_complete_graph_trivial(self):
+        g = complete_graph(20)
+        hs = build_hopset(g, PARAMS, seed=13)
+        d, hops = hopset_distance(hs, 0, 19)
+        assert d == 1.0 and hops == 1
+
+    def test_weighted_two_scale_graph(self):
+        # two weight regimes through the weighted hopset path
+        edges = [(i, i + 1) for i in range(19)]
+        w = [1.0 if i % 2 == 0 else 100.0 for i in range(19)]
+        g = from_edges(20, edges, w)
+        hs = build_hopset(g, PARAMS, seed=14, method="exact")
+        hs.verify_edge_weights()
+        d, _ = hopset_distance(hs, 0, 19)
+        true = sum(w)
+        assert true - 1e-9 <= d <= PARAMS.predicted_distortion(20) * true

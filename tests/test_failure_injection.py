@@ -1,0 +1,149 @@
+"""Failure injection: corrupted structures must be *detected*, not accepted.
+
+A reproduction's verifiers are only trustworthy if they actually fire;
+each test here damages a valid artifact and asserts the corresponding
+validator raises.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import VerificationError
+from repro.graph import gnm_random_graph, grid_graph
+from repro.graph.validation import validate_graph
+from repro.hopsets import HopsetParams, build_hopset
+from repro.hopsets.result import HopsetResult
+from repro.spanners import unweighted_spanner, verify_spanner
+from repro.spanners.result import SpannerResult
+
+PARAMS = HopsetParams(epsilon=0.5, delta=1.5, gamma1=0.15, gamma2=0.5)
+
+
+class TestHopsetCorruption:
+    @pytest.fixture()
+    def hopset(self):
+        return build_hopset(grid_graph(14, 14), PARAMS, seed=1)
+
+    def test_underweight_edge_detected(self, hopset):
+        if hopset.size == 0:
+            pytest.skip("empty hopset")
+        bad_w = hopset.ew.copy()
+        bad_w[0] = 1e-6  # far below any true distance on the grid
+        bad = HopsetResult(
+            graph=hopset.graph, eu=hopset.eu, ev=hopset.ev, ew=bad_w,
+            kind=hopset.kind, levels=hopset.levels, meta=hopset.meta,
+        )
+        with pytest.raises(VerificationError):
+            bad.verify_edge_weights()
+
+    def test_overweight_edge_accepted(self, hopset):
+        # heavier-than-true shortcuts are wasteful but *valid* paths
+        if hopset.size == 0:
+            pytest.skip("empty hopset")
+        heavy = HopsetResult(
+            graph=hopset.graph, eu=hopset.eu, ev=hopset.ev,
+            ew=hopset.ew * 10, kind=hopset.kind, levels=hopset.levels,
+            meta=hopset.meta,
+        )
+        heavy.verify_edge_weights()  # must not raise
+
+
+class TestSpannerCorruption:
+    def test_missing_bridge_detected(self):
+        g = gnm_random_graph(100, 300, seed=2, connected=True)
+        sp = unweighted_spanner(g, 2, seed=3)
+        # drop a forest edge: some pair disconnects or stretch explodes
+        from repro.graph.builders import subgraph_by_edge_ids
+        from repro.graph import connected_components
+
+        for drop in range(sp.size):
+            reduced = np.delete(sp.edge_ids, drop)
+            h = subgraph_by_edge_ids(g, reduced)
+            ncc, _ = connected_components(h)
+            if ncc > 1:
+                bad = SpannerResult(graph=g, edge_ids=reduced, stretch_bound=sp.stretch_bound)
+                with pytest.raises(VerificationError):
+                    verify_spanner(g, bad)
+                return
+        pytest.skip("no single-edge removal disconnected this spanner")
+
+    def test_stretch_bound_too_tight_detected(self):
+        g = gnm_random_graph(100, 600, seed=4, connected=True)
+        sp = unweighted_spanner(g, 4, seed=5)
+        measured = verify_spanner(g, sp)
+        if measured <= 1.0:
+            pytest.skip("degenerate: spanner preserves all distances")
+        with pytest.raises(VerificationError):
+            verify_spanner(g, sp, stretch=measured - 0.5)
+
+
+class TestGraphCorruption:
+    def test_asymmetric_adjacency_detected(self, small_gnm):
+        from repro.graph.csr import CSRGraph
+
+        # swap one neighbor entry to a wrong vertex
+        indices = small_gnm.indices.copy()
+        original = indices[0]
+        indices[0] = (original + 1) % small_gnm.n
+        bad = CSRGraph(
+            n=small_gnm.n,
+            indptr=small_gnm.indptr,
+            indices=indices,
+            weights=small_gnm.weights,
+            edge_ids=small_gnm.edge_ids,
+            edge_u=small_gnm.edge_u,
+            edge_v=small_gnm.edge_v,
+            edge_w=small_gnm.edge_w,
+        )
+        with pytest.raises(VerificationError):
+            validate_graph(bad)
+
+    def test_duplicate_edge_detected(self):
+        from repro.graph.csr import CSRGraph, build_csr
+
+        g = build_csr(
+            3,
+            np.array([0, 0]),
+            np.array([1, 2]),
+            np.array([1.0, 1.0]),
+        )
+        # forge a duplicate in the edge list
+        bad = CSRGraph(
+            n=3,
+            indptr=g.indptr,
+            indices=g.indices,
+            weights=g.weights,
+            edge_ids=g.edge_ids,
+            edge_u=np.array([0, 0]),
+            edge_v=np.array([1, 1]),
+            edge_w=g.edge_w,
+        )
+        with pytest.raises(VerificationError):
+            validate_graph(bad)
+
+
+class TestTreeCorruption:
+    def test_forged_distance_detected(self, small_grid):
+        from repro.paths import bfs
+        from repro.paths.trees import verify_sssp_tree
+
+        dist, parent = bfs(small_grid, 0)
+        forged = dist.astype(float).copy()
+        forged[30] += 5.0
+        with pytest.raises(VerificationError):
+            verify_sssp_tree(small_grid, forged, parent)
+
+    def test_forged_parent_detected(self, small_grid):
+        from repro.paths import bfs
+        from repro.paths.trees import verify_sssp_tree
+
+        dist, parent = bfs(small_grid, 0)
+        forged = parent.copy()
+        v = 40
+        # point v's parent at a non-neighbor
+        forged[v] = (v + 17) % small_grid.n
+        nbrs = set(int(x) for x in small_grid.neighbors(v))
+        if int(forged[v]) in nbrs:
+            pytest.skip("accidental neighbor")
+        with pytest.raises(VerificationError):
+            verify_sssp_tree(small_grid, dist.astype(float), forged)

@@ -1,0 +1,104 @@
+"""Unit tests for the CSR graph container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import CSRGraph, from_edges, path_graph
+from repro.graph.csr import build_csr
+
+
+class TestBasicProperties:
+    def test_counts(self, triangle):
+        assert triangle.n == 3
+        assert triangle.m == 3
+        assert triangle.num_arcs == 6
+
+    def test_unweighted_flag(self, triangle, small_weighted):
+        assert triangle.is_unweighted
+        assert not small_weighted.is_unweighted
+
+    def test_empty_graph(self, empty_graph):
+        assert empty_graph.n == 5
+        assert empty_graph.m == 0
+        assert empty_graph.is_unweighted
+        assert empty_graph.weight_ratio == 1.0
+
+    def test_weight_extremes(self, small_weighted):
+        assert small_weighted.min_weight >= 1.0
+        assert small_weighted.max_weight <= 64.0 + 1e-9
+        assert small_weighted.weight_ratio == pytest.approx(
+            small_weighted.max_weight / small_weighted.min_weight
+        )
+
+    def test_degree_array_sums_to_arcs(self, small_gnm):
+        deg = small_gnm.degree()
+        assert deg.sum() == small_gnm.num_arcs
+
+    def test_degree_scalar(self, triangle):
+        assert triangle.degree(0) == 2
+
+
+class TestNeighborAccess:
+    def test_neighbors_symmetric(self, small_gnm):
+        g = small_gnm
+        for v in range(0, g.n, 17):
+            for u in g.neighbors(v):
+                assert v in g.neighbors(int(u))
+
+    def test_neighbor_weights_match_edges(self, small_weighted):
+        g = small_weighted
+        v = int(g.edge_u[0])
+        nbrs = g.neighbors(v)
+        ws = g.neighbor_weights(v)
+        assert nbrs.shape == ws.shape
+
+    def test_iter_edges_roundtrip(self, triangle):
+        edges = sorted((u, v) for u, v, _ in triangle.iter_edges())
+        assert edges == [(0, 1), (0, 2), (1, 2)]
+
+    def test_arc_sources_expansion(self, small_gnm):
+        src = small_gnm.arc_sources()
+        assert src.shape[0] == small_gnm.num_arcs
+        # every arc's source is consistent with indptr ranges
+        for v in range(0, small_gnm.n, 23):
+            lo, hi = small_gnm.indptr[v], small_gnm.indptr[v + 1]
+            assert (src[lo:hi] == v).all()
+
+
+class TestImmutability:
+    def test_arrays_readonly(self, triangle):
+        for arr in (triangle.indptr, triangle.indices, triangle.weights,
+                    triangle.edge_u, triangle.edge_v, triangle.edge_w):
+            with pytest.raises(ValueError):
+                arr[0] = 0
+
+    def test_equality(self, triangle):
+        other = from_edges(3, [(0, 1), (1, 2), (0, 2)])
+        assert triangle == other
+        assert triangle != path_graph(3)
+
+
+class TestConversions:
+    def test_to_scipy_symmetric(self, small_gnm):
+        s = small_gnm.to_scipy()
+        assert (s != s.T).nnz == 0
+        assert s.nnz == small_gnm.num_arcs
+
+    def test_edges_array_shape(self, small_gnm):
+        arr = small_gnm.edges_array()
+        assert arr.shape == (small_gnm.m, 2)
+        assert (arr[:, 0] < arr[:, 1]).all()
+
+
+class TestBuildCsrValidation:
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(GraphFormatError):
+            build_csr(3, np.array([0]), np.array([1, 2]), np.array([1.0, 1.0]))
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(GraphFormatError):
+            build_csr(2, np.array([0]), np.array([1]), np.array([0.0]))
+
+    def test_repr_mentions_size(self, triangle):
+        assert "n=3" in repr(triangle)

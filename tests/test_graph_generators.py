@@ -1,0 +1,148 @@
+"""Unit tests for the synthetic workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.graph import (
+    barabasi_albert_graph,
+    complete_graph,
+    cycle_graph,
+    gnm_random_graph,
+    grid_graph,
+    hard_weight_graph,
+    is_connected,
+    path_graph,
+    random_geometric_graph,
+    random_tree,
+    star_graph,
+    torus_graph,
+    watts_strogatz_graph,
+    with_random_weights,
+)
+from repro.graph.validation import validate_graph
+from repro.paths.dijkstra import dijkstra_scipy
+
+
+class TestStructured:
+    def test_path_graph(self):
+        g = path_graph(6)
+        assert g.n == 6 and g.m == 5
+        d = dijkstra_scipy(g, 0)
+        assert d[5] == 5
+
+    def test_cycle_graph(self):
+        g = cycle_graph(8)
+        assert g.m == 8
+        assert dijkstra_scipy(g, 0)[4] == 4
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ParameterError):
+            cycle_graph(2)
+
+    def test_star_graph(self):
+        g = star_graph(7)
+        assert g.m == 6
+        assert g.degree(0) == 6
+
+    def test_complete_graph(self):
+        g = complete_graph(6)
+        assert g.m == 15
+
+    def test_grid_dimensions_and_diameter(self):
+        g = grid_graph(4, 5)
+        assert g.n == 20 and g.m == 4 * 4 + 3 * 5
+        assert dijkstra_scipy(g, 0)[g.n - 1] == 3 + 4
+
+    def test_torus_regular(self):
+        g = torus_graph(4, 4)
+        assert (g.degree() == 4).all()
+
+    def test_random_tree_is_tree(self):
+        g = random_tree(50, seed=3)
+        assert g.m == 49
+        assert is_connected(g)
+
+
+class TestRandom:
+    def test_gnm_exact_edge_count(self):
+        g = gnm_random_graph(60, 200, seed=5)
+        assert g.n == 60 and g.m == 200
+        validate_graph(g)
+
+    def test_gnm_connected_flag(self):
+        for s in range(3):
+            g = gnm_random_graph(80, 100, seed=s, connected=True)
+            assert is_connected(g)
+            assert g.m == 100
+
+    def test_gnm_connected_needs_enough_edges(self):
+        with pytest.raises(ParameterError):
+            gnm_random_graph(10, 5, connected=True)
+
+    def test_gnm_too_many_edges(self):
+        with pytest.raises(ParameterError):
+            gnm_random_graph(4, 10)
+
+    def test_gnm_deterministic(self):
+        a = gnm_random_graph(50, 120, seed=9)
+        b = gnm_random_graph(50, 120, seed=9)
+        assert a == b
+
+    def test_barabasi_albert_size(self):
+        g = barabasi_albert_graph(100, 3, seed=1)
+        assert g.n == 100
+        assert g.m <= 3 * 97 + 3
+        assert is_connected(g)
+
+    def test_barabasi_albert_params(self):
+        with pytest.raises(ParameterError):
+            barabasi_albert_graph(5, 5)
+
+    def test_watts_strogatz(self):
+        g = watts_strogatz_graph(60, 3, 0.1, seed=2)
+        assert g.n == 60
+        validate_graph(g)
+
+    def test_watts_strogatz_params(self):
+        with pytest.raises(ParameterError):
+            watts_strogatz_graph(10, 5, 0.1)
+
+    def test_rgg_radius_respected(self):
+        g = random_geometric_graph(150, 0.15, seed=4)
+        validate_graph(g)
+        assert g.n == 150
+
+    def test_rgg_vs_bruteforce(self):
+        # grid hashing must find exactly the pairs within radius
+        rng = np.random.default_rng(8)
+        n, r = 60, 0.25
+        g = random_geometric_graph(n, r, seed=8)
+        pts = np.random.default_rng(8).random((n, 2))
+        d2 = ((pts[:, None, :] - pts[None, :, :]) ** 2).sum(axis=2)
+        iu = np.triu_indices(n, k=1)
+        expect = int((d2[iu] <= r * r).sum())
+        assert g.m == expect
+
+
+class TestWeightDecorators:
+    def test_uniform_range(self, small_gnm):
+        g = with_random_weights(small_gnm, 2.0, 5.0, "uniform", seed=1)
+        assert g.min_weight >= 2.0 and g.max_weight <= 5.0
+
+    def test_loguniform_range(self, small_gnm):
+        g = with_random_weights(small_gnm, 1.0, 1000.0, "loguniform", seed=1)
+        assert g.min_weight >= 1.0 and g.max_weight <= 1000.0
+
+    def test_integer_weights(self, small_gnm):
+        g = with_random_weights(small_gnm, 1, 7, "integer", seed=1)
+        assert np.array_equal(g.edge_w, np.round(g.edge_w))
+
+    def test_unknown_distribution(self, small_gnm):
+        with pytest.raises(ParameterError):
+            with_random_weights(small_gnm, 1, 2, "cauchy")
+
+    def test_hard_weight_graph_ratio(self):
+        g = hard_weight_graph(60, 150, n_scales=3, seed=2)
+        assert is_connected(g)
+        assert g.weight_ratio > 60.0**2  # spans several scales

@@ -1,0 +1,72 @@
+"""Unit tests for quotient graphs (contraction with edge-id tracking)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import from_edges, quotient_graph
+from repro.graph.quotient import contract_graph
+from repro.graph.validation import validate_graph
+
+
+class TestQuotientGraph:
+    def test_identity_labels_preserve_graph(self, triangle):
+        q = contract_graph(triangle, np.arange(3))
+        assert q.graph.n == 3 and q.graph.m == 3
+
+    def test_full_contraction_empty(self, triangle):
+        q = contract_graph(triangle, np.zeros(3, dtype=np.int64))
+        assert q.graph.n == 1 and q.graph.m == 0
+
+    def test_self_loops_removed(self):
+        g = from_edges(4, [(0, 1), (2, 3), (1, 2)])
+        q = contract_graph(g, np.array([0, 0, 1, 1]))
+        assert q.graph.n == 2
+        assert q.graph.m == 1  # only the 1-2 edge survives
+
+    def test_parallel_edges_keep_min_weight(self):
+        g = from_edges(4, [(0, 2), (1, 3)], weights=[5.0, 3.0])
+        q = contract_graph(g, np.array([0, 0, 1, 1]))
+        assert q.graph.m == 1
+        assert q.graph.edge_w[0] == 3.0
+
+    def test_rep_edge_ids_point_to_surviving_edge(self):
+        g = from_edges(4, [(0, 2), (1, 3), (0, 1)], weights=[5.0, 3.0, 1.0])
+        q = contract_graph(g, np.array([0, 0, 1, 1]))
+        # the surviving 0-1 quotient edge must be original edge (1,3) w=3
+        rep = int(q.rep_edge_ids[0])
+        assert g.edge_w[rep] == 3.0
+
+    def test_noncompact_labels_accepted(self):
+        g = from_edges(3, [(0, 1), (1, 2)])
+        q = contract_graph(g, np.array([10, 10, 99]))
+        assert q.graph.n == 2 and q.graph.m == 1
+
+    def test_vertex_map_consistent(self, small_gnm):
+        labels = np.arange(small_gnm.n) // 4
+        q = contract_graph(small_gnm, labels)
+        assert q.vertex_map.shape[0] == small_gnm.n
+        # vertices with same label share a quotient vertex
+        assert (q.vertex_map[labels == 0] == q.vertex_map[0]).all()
+        validate_graph(q.graph)
+
+    def test_custom_edge_ids_carried(self):
+        g = from_edges(4, [(0, 1), (2, 3)])
+        my_ids = np.array([100, 200], dtype=np.int64)
+        q = quotient_graph(
+            np.array([0, 1, 2, 3]), g.edge_u, g.edge_v, g.edge_w, edge_ids=my_ids
+        )
+        assert set(q.rep_edge_ids) == {100, 200}
+
+    def test_distances_never_decrease_below_quotient(self, small_weighted):
+        # quotient distances are a lower bound on original distances
+        from repro.paths.dijkstra import dijkstra_scipy
+
+        g = small_weighted
+        labels = np.arange(g.n) // 5
+        q = contract_graph(g, labels)
+        dq = dijkstra_scipy(q.graph, int(q.vertex_map[0]))
+        dg = dijkstra_scipy(g, 0)
+        for v in range(0, g.n, 13):
+            qv = int(q.vertex_map[v])
+            if np.isfinite(dg[v]):
+                assert dq[qv] <= dg[v] + 1e-9

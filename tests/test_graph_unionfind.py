@@ -1,0 +1,65 @@
+"""Unit tests for the vectorized union-find."""
+
+import numpy as np
+import pytest
+
+from repro.graph import UnionFind
+
+
+class TestUnionFind:
+    def test_initial_singletons(self):
+        uf = UnionFind(5)
+        assert uf.n_components == 5
+        assert all(uf.find(i) == i for i in range(5))
+
+    def test_union_merges(self):
+        uf = UnionFind(4)
+        assert uf.union(0, 1)
+        assert uf.find(0) == uf.find(1)
+        assert uf.n_components == 3
+
+    def test_union_idempotent(self):
+        uf = UnionFind(4)
+        uf.union(0, 1)
+        assert not uf.union(1, 0)
+        assert uf.n_components == 3
+
+    def test_find_many_matches_scalar(self):
+        uf = UnionFind(30)
+        rng = np.random.default_rng(0)
+        for _ in range(25):
+            a, b = rng.integers(0, 30, 2)
+            uf.union(int(a), int(b))
+        xs = np.arange(30)
+        roots = uf.find_many(xs)
+        assert all(int(roots[i]) == uf.find(i) for i in range(30))
+
+    def test_union_edges_counts_merges(self):
+        uf = UnionFind(5)
+        merged = uf.union_edges(np.array([0, 1, 0]), np.array([1, 2, 2]))
+        assert merged == 2
+        assert uf.n_components == 3
+
+    def test_component_labels_compact(self):
+        uf = UnionFind(6)
+        uf.union(0, 1)
+        uf.union(2, 3)
+        labels = uf.component_labels()
+        assert labels.min() == 0
+        assert labels.max() == 3  # 4 components
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[4] != labels[5]
+
+    def test_chain_unions_single_component(self):
+        n = 100
+        uf = UnionFind(n)
+        uf.union_edges(np.arange(n - 1), np.arange(1, n))
+        assert uf.n_components == 1
+        assert np.unique(uf.find_many(np.arange(n))).shape[0] == 1
+
+    def test_size_tracking(self):
+        uf = UnionFind(4)
+        uf.union(0, 1)
+        uf.union(0, 2)
+        assert uf.size[uf.find(0)] == 3

@@ -1,0 +1,101 @@
+"""Unit tests for structural validation and persistence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import VerificationError
+from repro.graph import CSRGraph, from_edges
+from repro.graph.validation import is_subgraph, validate_graph
+from repro.graph.io import load_edgelist, load_npz, save_edgelist, save_npz
+
+
+class TestValidation:
+    def test_valid_graphs_pass(self, triangle, small_gnm, small_weighted, empty_graph):
+        for g in (triangle, small_gnm, small_weighted, empty_graph):
+            validate_graph(g)
+
+    def test_tampered_indptr_detected(self, triangle):
+        bad_indptr = triangle.indptr.copy()
+        bad_indptr[1] += 1
+        bad = CSRGraph(
+            n=triangle.n,
+            indptr=bad_indptr,
+            indices=triangle.indices,
+            weights=triangle.weights,
+            edge_ids=triangle.edge_ids,
+            edge_u=triangle.edge_u,
+            edge_v=triangle.edge_v,
+            edge_w=triangle.edge_w,
+        )
+        with pytest.raises(VerificationError):
+            validate_graph(bad)
+
+    def test_tampered_weights_detected(self, triangle):
+        bad_w = triangle.weights.copy()
+        bad_w[0] = 99.0
+        bad = CSRGraph(
+            n=triangle.n,
+            indptr=triangle.indptr,
+            indices=triangle.indices,
+            weights=bad_w,
+            edge_ids=triangle.edge_ids,
+            edge_u=triangle.edge_u,
+            edge_v=triangle.edge_v,
+            edge_w=triangle.edge_w,
+        )
+        with pytest.raises(VerificationError):
+            validate_graph(bad)
+
+    def test_is_subgraph(self, small_gnm):
+        from repro.graph.builders import subgraph_by_edge_ids
+
+        sub = subgraph_by_edge_ids(small_gnm, np.arange(0, small_gnm.m, 2))
+        assert is_subgraph(sub, small_gnm)
+        assert not is_subgraph(small_gnm, sub)
+
+    def test_is_subgraph_weight_mismatch(self):
+        g = from_edges(2, [(0, 1)], weights=[2.0])
+        h = from_edges(2, [(0, 1)], weights=[1.0])
+        assert not is_subgraph(h, g)
+
+
+class TestIO:
+    def test_npz_roundtrip(self, small_weighted, tmp_path):
+        p = tmp_path / "g.npz"
+        save_npz(small_weighted, p)
+        back = load_npz(p)
+        assert back == small_weighted
+
+    def test_edgelist_roundtrip(self, small_weighted, tmp_path):
+        p = tmp_path / "g.txt"
+        save_edgelist(small_weighted, p)
+        back = load_edgelist(p)
+        assert back.n == small_weighted.n
+        assert back.m == small_weighted.m
+        assert np.allclose(np.sort(back.edge_w), np.sort(small_weighted.edge_w))
+
+    def test_edgelist_integer_weights_compact(self, triangle, tmp_path):
+        p = tmp_path / "t.txt"
+        save_edgelist(triangle, p)
+        text = p.read_text()
+        assert "0 1 1\n" in text
+
+    def test_edgelist_without_header_infers_n(self, tmp_path):
+        p = tmp_path / "noheader.txt"
+        p.write_text("0 1\n1 4\n")
+        g = load_edgelist(p)
+        assert g.n == 5 and g.m == 2
+
+    def test_edgelist_preserves_isolated_vertices(self, tmp_path, empty_graph):
+        p = tmp_path / "empty.txt"
+        save_edgelist(empty_graph, p)
+        back = load_edgelist(p)
+        assert back.n == 5 and back.m == 0
+
+    def test_bad_line_rejected(self, tmp_path):
+        from repro.errors import GraphFormatError
+
+        p = tmp_path / "bad.txt"
+        p.write_text("42\n")
+        with pytest.raises(GraphFormatError):
+            load_edgelist(p)

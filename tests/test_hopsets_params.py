@@ -1,0 +1,83 @@
+"""Unit tests for the hopset parameter pack (Claim 4.1 schedule)."""
+
+import math
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.hopsets import HopsetParams
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        p = HopsetParams()
+        assert p.delta > 1
+
+    def test_epsilon_positive(self):
+        with pytest.raises(ParameterError):
+            HopsetParams(epsilon=0)
+
+    def test_delta_above_one(self):
+        with pytest.raises(ParameterError):
+            HopsetParams(delta=1.0)
+
+    def test_gamma_ordering(self):
+        with pytest.raises(ParameterError):
+            HopsetParams(gamma1=0.7, gamma2=0.5)
+        with pytest.raises(ParameterError):
+            HopsetParams(gamma1=0.5, gamma2=1.2)
+
+
+class TestSchedule:
+    def test_beta_geometric_growth(self):
+        p = HopsetParams(epsilon=0.5, gamma2=0.5)
+        n = 10000
+        g = p.growth(n)
+        b0 = p.beta_at(0, n)
+        b1 = p.beta_at(1, n)
+        b2 = p.beta_at(2, n)
+        assert b1 == pytest.approx(b0 * g)
+        assert b2 == pytest.approx(min(8.0, b0 * g * g))
+
+    def test_beta0_formula(self):
+        p = HopsetParams(gamma2=0.5)
+        assert p.beta0(10000) == pytest.approx(0.01)
+
+    def test_beta_capped(self):
+        p = HopsetParams()
+        assert p.beta_at(100, 1000) == 8.0
+
+    def test_growth_formula(self):
+        p = HopsetParams(epsilon=0.5, c_growth=1.0)
+        assert p.growth(1000) == pytest.approx(math.log(1000) / 0.5)
+
+    def test_rho_is_growth_to_delta(self):
+        p = HopsetParams(epsilon=0.5, delta=1.5)
+        n = 5000
+        assert p.rho(n) == pytest.approx(p.growth(n) ** 1.5)
+
+    def test_n_final_exponent(self):
+        p = HopsetParams(gamma1=0.25)
+        assert p.n_final(10000) == pytest.approx(10.0, abs=1)
+
+    def test_n_final_floor(self):
+        p = HopsetParams(gamma1=0.0)
+        assert p.n_final(100) == 2
+
+    def test_expected_levels_positive(self):
+        p = HopsetParams()
+        assert p.expected_levels(10**5) >= 1
+        assert p.expected_levels(2) == 0
+
+    def test_predicted_hop_bound_monotone_in_d(self):
+        p = HopsetParams()
+        assert p.predicted_hop_bound(1000, 10) < p.predicted_hop_bound(1000, 100)
+
+    def test_predicted_distortion_above_one(self):
+        p = HopsetParams(epsilon=0.3)
+        assert p.predicted_distortion(10**4) > 1.0
+
+    def test_with_updates(self):
+        p = HopsetParams().with_(epsilon=0.125)
+        assert p.epsilon == 0.125
+        assert p.delta == HopsetParams().delta

@@ -1,0 +1,80 @@
+"""Unit tests for hopset distance queries."""
+
+import numpy as np
+import pytest
+
+from repro.graph import grid_graph, path_graph
+from repro.hopsets import (
+    HopsetParams,
+    build_hopset,
+    exact_distance,
+    hopset_distance,
+    hopset_sssp,
+    suggested_hop_bound,
+)
+from repro.pram import PramTracker
+
+PARAMS = HopsetParams(epsilon=0.5, delta=1.5, gamma1=0.15, gamma2=0.5)
+
+
+@pytest.fixture(scope="module")
+def built():
+    g = grid_graph(18, 18)
+    return g, build_hopset(g, PARAMS, seed=11)
+
+
+class TestQueries:
+    def test_sssp_covers_component(self, built):
+        g, hs = built
+        dist, hops = hopset_sssp(hs, 0, h=g.n)
+        assert np.isfinite(dist).all()
+        d_true = exact_distance(g, 0, g.n - 1)
+        assert dist[g.n - 1] == pytest.approx(d_true, rel=PARAMS.epsilon * 3)
+
+    def test_distance_with_explicit_h(self, built):
+        g, hs = built
+        d, hops = hopset_distance(hs, 0, g.n - 1, h=g.n)
+        assert hops <= g.n
+        assert d >= exact_distance(g, 0, g.n - 1) - 1e-9
+
+    def test_adaptive_budget_converges(self, built):
+        g, hs = built
+        d_auto, _ = hopset_distance(hs, 0, g.n - 1)
+        d_full, _ = hopset_distance(hs, 0, g.n - 1, h=g.n)
+        assert d_auto == pytest.approx(d_full)
+
+    def test_same_vertex_zero(self, built):
+        _, hs = built
+        d, hops = hopset_distance(hs, 3, 3)
+        assert d == 0.0 and hops == 0
+
+    def test_suggested_hop_bound_monotone(self, built):
+        _, hs = built
+        assert suggested_hop_bound(hs, 10.0) <= suggested_hop_bound(hs, 100.0)
+
+    def test_suggested_hop_bound_capped_at_n(self, built):
+        g, hs = built
+        assert suggested_hop_bound(hs, 1e12) <= g.n
+
+    def test_tracker_depth_counts_rounds(self, built):
+        g, hs = built
+        t = PramTracker(n=g.n, depth_per_round=1)
+        hopset_distance(hs, 0, g.n - 1, h=32, tracker=t)
+        assert 0 < t.rounds <= 32
+
+    def test_query_on_tiny_graph_exact(self):
+        # tiny path: whatever shortcuts exist, the distance is exact and
+        # the hop count never exceeds the plain path's
+        g = path_graph(4)
+        hs = build_hopset(g, PARAMS, seed=1)
+        d, hops = hopset_distance(hs, 0, 3)
+        assert d == 3.0 and 1 <= hops <= 3
+
+    def test_query_on_hopset_free_graph(self):
+        # below n_final the recursion exits immediately: empty hopset,
+        # query degenerates to plain Bellman-Ford
+        g = path_graph(2)
+        hs = build_hopset(g, PARAMS, seed=1)
+        assert hs.size == 0
+        d, hops = hopset_distance(hs, 0, 1)
+        assert d == 1.0 and hops == 1

@@ -1,0 +1,123 @@
+"""Unit tests for Lemma 5.2 rounding and the Section 5 weighted pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.graph import gnm_random_graph, path_graph, with_random_weights
+from repro.hopsets import (
+    HopsetParams,
+    build_weighted_hopset,
+    round_weights,
+)
+from repro.hopsets.weighted import distance_scales
+from repro.hopsets.query import exact_distance
+from repro.paths.dijkstra import dijkstra_scipy
+
+PARAMS = HopsetParams(epsilon=0.5, delta=1.5, gamma1=0.15, gamma2=0.5)
+
+
+class TestRounding:
+    def test_integer_weights(self, small_weighted):
+        r = round_weights(small_weighted, d=10.0, k=50, zeta=0.5)
+        assert np.array_equal(r.graph.edge_w, np.round(r.graph.edge_w))
+        assert (r.graph.edge_w >= 1).all()
+
+    def test_granularity_formula(self, small_weighted):
+        r = round_weights(small_weighted, d=10.0, k=50, zeta=0.5)
+        assert r.w_hat == pytest.approx(0.5 * 10.0 / 50)
+
+    def test_lemma52_upper_bound(self, small_weighted):
+        """w_hat * w_tilde(p) <= (1 + zeta) w(p) for k-hop paths in band."""
+        g = small_weighted
+        d_anchor, k, zeta = 20.0, 10, 0.5
+        r = round_weights(g, d=d_anchor, k=k, zeta=zeta)
+        # any single edge is a 1-hop path: per-edge check implies the
+        # telescoped bound for k-hop paths with weight >= d
+        per_edge_excess = r.w_hat * r.graph.edge_w - g.edge_w
+        assert (per_edge_excess <= r.w_hat + 1e-9).all()
+        # k edges overshoot by <= k * w_hat = zeta * d <= zeta * w(p)
+
+    def test_rounding_never_undershoots(self, small_weighted):
+        r = round_weights(small_weighted, d=5.0, k=20, zeta=0.3)
+        assert (r.w_hat * r.graph.edge_w >= small_weighted.edge_w - 1e-9).all()
+
+    def test_distance_never_undershoots(self, small_weighted):
+        r = round_weights(small_weighted, d=5.0, k=20, zeta=0.3)
+        d_orig = dijkstra_scipy(small_weighted, 0)
+        d_round = dijkstra_scipy(r.graph, 0) * r.w_hat
+        assert (d_round >= d_orig - 1e-9).all()
+
+    def test_band_distortion_bounded(self, small_weighted):
+        g = small_weighted
+        zeta = 0.25
+        d_all = dijkstra_scipy(g, 0)
+        finite = np.isfinite(d_all) & (d_all > 0)
+        d_anchor = float(np.median(d_all[finite]))
+        r = round_weights(g, d=d_anchor, k=g.n, zeta=zeta)
+        d_round = dijkstra_scipy(r.graph, 0) * r.w_hat
+        band = finite & (d_all >= d_anchor)
+        # any path in the band distorts by <= (1 + zeta)
+        assert (d_round[band] <= (1 + zeta) * d_all[band] + 1e-9).all()
+
+    def test_parameter_validation(self, small_weighted):
+        with pytest.raises(ParameterError):
+            round_weights(small_weighted, d=0.0, k=5, zeta=0.5)
+        with pytest.raises(ParameterError):
+            round_weights(small_weighted, d=1.0, k=0, zeta=0.5)
+        with pytest.raises(ParameterError):
+            round_weights(small_weighted, d=1.0, k=5, zeta=1.5)
+
+    def test_to_original_units(self, small_weighted):
+        r = round_weights(small_weighted, d=8.0, k=4, zeta=0.5)
+        assert r.to_original_units(10.0) == pytest.approx(10.0 * r.w_hat)
+
+
+class TestWeightedHopset:
+    @pytest.fixture(scope="class")
+    def built(self):
+        g = gnm_random_graph(150, 600, seed=5, connected=True)
+        gw = with_random_weights(g, 1.0, 100.0, "loguniform", seed=6)
+        wh = build_weighted_hopset(gw, PARAMS, eta=0.3, zeta=0.25, seed=7)
+        return gw, wh
+
+    def test_scales_cover_range(self, built):
+        gw, wh = built
+        anchors = distance_scales(gw, 0.3)
+        assert anchors[0] <= gw.min_weight
+        assert anchors[-1] * (gw.n ** 0.3) >= gw.n * gw.max_weight
+
+    def test_queries_are_upper_bounds(self, built):
+        gw, wh = built
+        rng = np.random.default_rng(1)
+        for _ in range(8):
+            s, t = rng.integers(0, gw.n, 2)
+            if s == t:
+                continue
+            d = exact_distance(gw, int(s), int(t))
+            est, _ = wh.query(int(s), int(t))
+            assert est >= d - 1e-9
+
+    def test_query_accuracy(self, built):
+        gw, wh = built
+        rng = np.random.default_rng(2)
+        bound = (1 + wh.zeta) * PARAMS.predicted_distortion(gw.n)
+        for _ in range(8):
+            s, t = rng.integers(0, gw.n, 2)
+            if s == t:
+                continue
+            d = exact_distance(gw, int(s), int(t))
+            est, _ = wh.query(int(s), int(t))
+            assert est <= bound * d + 1e-9
+
+    def test_eta_validation(self, small_weighted):
+        with pytest.raises(ParameterError):
+            build_weighted_hopset(small_weighted, eta=0.0)
+
+    def test_total_edges_counted(self, built):
+        _, wh = built
+        assert wh.total_hopset_edges == sum(s.hopset.size for s in wh.scales)
+
+    def test_meta_scale_count(self, built):
+        _, wh = built
+        assert wh.meta["num_scales"] == len(wh.scales)

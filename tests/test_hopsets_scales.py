@@ -1,0 +1,88 @@
+"""Unit tests for the Appendix B weight-scale decomposition (Lemma 5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotConnectedError, ParameterError
+from repro.graph import from_edges, gnm_random_graph, hard_weight_graph, with_random_weights
+from repro.hopsets import build_weight_scales
+from repro.hopsets.query import exact_distance
+
+
+@pytest.fixture(scope="module")
+def hard_dec():
+    g = hard_weight_graph(120, 360, n_scales=3, seed=8)
+    return g, build_weight_scales(g, eps=0.2)
+
+
+class TestConstruction:
+    def test_piece_weight_ratio_bounded(self, hard_dec):
+        g, dec = hard_dec
+        bound = dec.base ** 3
+        for p in dec.pieces:
+            if p.graph.m:
+                assert p.weight_ratio <= bound * (1 + 1e-9)
+
+    def test_each_edge_in_at_most_three_pieces(self, hard_dec):
+        g, dec = hard_dec
+        assert dec.total_piece_edges() <= 3 * g.m
+
+    def test_levels_match_nonempty_categories(self, hard_dec):
+        _, dec = hard_dec
+        assert len(dec.pieces) == dec.num_levels
+        assert len(dec.labels_after) == dec.num_levels
+
+    def test_single_scale_graph_one_level(self, small_weighted):
+        # weight ratio 64 << n/eps: everything lands in one category
+        dec = build_weight_scales(small_weighted, eps=0.25)
+        assert dec.num_levels == 1
+        assert dec.pieces[0].graph.m == small_weighted.m
+
+    def test_eps_validation(self, small_weighted):
+        with pytest.raises(ParameterError):
+            build_weight_scales(small_weighted, eps=0.0)
+        with pytest.raises(ParameterError):
+            build_weight_scales(small_weighted, eps=1.0)
+
+    def test_empty_graph_rejected(self, empty_graph):
+        with pytest.raises(ParameterError):
+            build_weight_scales(empty_graph)
+
+
+class TestRoutingAndQueries:
+    def test_route_connected_pair(self, hard_dec):
+        g, dec = hard_dec
+        j, ps, pt = dec.route(0, g.n - 1)
+        assert 0 <= j < dec.num_levels
+
+    def test_route_disconnected_raises(self):
+        g = from_edges(4, [(0, 1), (2, 3)], weights=[1.0, 2.0])
+        dec = build_weight_scales(g, eps=0.25)
+        with pytest.raises(NotConnectedError):
+            dec.route(0, 2)
+
+    def test_query_distance_relative_error(self, hard_dec):
+        g, dec = hard_dec
+        rng = np.random.default_rng(3)
+        for _ in range(12):
+            s, t = rng.integers(0, g.n, 2)
+            if s == t:
+                continue
+            d = exact_distance(g, int(s), int(t))
+            dd = dec.query_distance(int(s), int(t))
+            assert abs(dd - d) <= dec.eps * d + 1e-9
+
+    def test_query_same_vertex(self, hard_dec):
+        _, dec = hard_dec
+        assert dec.query_distance(5, 5) == 0.0
+
+    def test_contracted_pairs_report_zero(self, hard_dec):
+        g, dec = hard_dec
+        # endpoints of a minimum-category edge share a piece vertex at
+        # high query levels; relative to a top-category query their
+        # distance is negligible -> 0 is the correct (1 - eps) answer
+        lo_edge = int(np.argmin(g.edge_w))
+        u, v = int(g.edge_u[lo_edge]), int(g.edge_v[lo_edge])
+        d = dec.query_distance(u, v)
+        true = exact_distance(g, u, v)
+        assert d <= true + 1e-9

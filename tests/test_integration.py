@@ -1,0 +1,155 @@
+"""Integration tests: full pipelines across modules, Theorem 1.1/1.2 shape."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    barabasi_albert_graph,
+    gnm_random_graph,
+    grid_graph,
+    with_random_weights,
+)
+from repro.hopsets import (
+    HopsetParams,
+    build_hopset,
+    build_weighted_hopset,
+    exact_distance,
+    hopset_distance,
+    ks97_hopset,
+)
+from repro.pram import PramTracker
+from repro.spanners import (
+    baswana_sen_spanner,
+    unweighted_spanner,
+    verify_spanner,
+    weighted_spanner,
+)
+from repro.analysis import stretch_summary
+
+PARAMS = HopsetParams(epsilon=0.5, delta=1.5, gamma1=0.15, gamma2=0.5)
+
+
+class TestTheorem11Pipeline:
+    """Theorem 1.1: O(k)-spanners of size ~ n^(1+1/k) at O(m) work."""
+
+    def test_unweighted_full_pipeline(self):
+        g = gnm_random_graph(600, 6000, seed=1, connected=True)
+        k = 3
+        t = PramTracker(n=g.n)
+        sp = unweighted_spanner(g, k, seed=2, tracker=t)
+        verify_spanner(g, sp)
+        assert sp.size <= 3 * g.n ** (1 + 1 / k)
+        assert t.work <= 50 * g.m  # O(m) with constants
+        # depth: O(k log* n) rounds * charge; generous envelope
+        assert t.depth <= 100 * k * np.log(g.n)
+
+    def test_weighted_full_pipeline(self):
+        g = gnm_random_graph(400, 3000, seed=3, connected=True)
+        gw = with_random_weights(g, 1.0, 2.0**10, "loguniform", seed=4)
+        sp = weighted_spanner(gw, 4, seed=5)
+        verify_spanner(gw, sp)
+        s = stretch_summary(gw, sp)
+        assert s.max <= sp.stretch_bound
+
+    def test_spanner_beats_baswana_sen_size_at_large_k(self):
+        # Figure 1's claim: our size drops the O(k) factor
+        g = gnm_random_graph(500, 8000, seed=6, connected=True)
+        k = 6
+        ours = np.mean([unweighted_spanner(g, k, seed=s).size for s in range(3)])
+        bs = np.mean([baswana_sen_spanner(g, k, seed=s).size for s in range(3)])
+        # BS07 keeps ~k n^(1+1/k); ours ~n^(1+1/k) (larger stretch constant)
+        assert ours <= bs
+
+    def test_spanner_of_spanner_composes(self):
+        g = gnm_random_graph(300, 3000, seed=7, connected=True)
+        sp1 = unweighted_spanner(g, 2, seed=8)
+        h = sp1.subgraph()
+        sp2 = unweighted_spanner(h, 2, seed=9)
+        verify_spanner(h, sp2)
+        # composed stretch multiplies, sizes shrink monotonically
+        assert sp2.size <= sp1.size
+
+
+class TestTheorem12Pipeline:
+    """Theorem 1.2: (1+eps) shortest paths via hopsets at low depth."""
+
+    def test_unweighted_sssp_shape(self):
+        g = grid_graph(30, 30)
+        build_t = PramTracker(n=g.n)
+        hs = build_hopset(g, PARAMS, seed=10, tracker=build_t)
+        query_t = PramTracker(n=g.n, depth_per_round=1)
+        s, t = 0, g.n - 1
+        d_true = exact_distance(g, s, t)
+        est, hops = hopset_distance(hs, s, t, tracker=query_t)
+        assert d_true <= est <= PARAMS.predicted_distortion(g.n) * d_true
+        # the whole point: query rounds far below the plain BFS depth
+        assert query_t.rounds < d_true
+        assert build_t.work > 0
+
+    def test_weighted_sssp_shape(self):
+        g = gnm_random_graph(200, 800, seed=11, connected=True)
+        gw = with_random_weights(g, 1.0, 64.0, "loguniform", seed=12)
+        wh = build_weighted_hopset(gw, PARAMS, eta=0.3, zeta=0.25, seed=13)
+        rng = np.random.default_rng(14)
+        worst = 1.0
+        for _ in range(6):
+            s, t = rng.integers(0, gw.n, 2)
+            if s == t:
+                continue
+            d = exact_distance(gw, int(s), int(t))
+            est, _ = wh.query(int(s), int(t))
+            worst = max(worst, est / d)
+        assert worst <= (1 + wh.zeta) * PARAMS.predicted_distortion(gw.n)
+
+    def test_ours_vs_ks97_work_tradeoff(self):
+        # Figure 2 shape: our construction does less work than KS97's
+        # m*sqrt(n) at comparable approximation on large-enough graphs
+        g = grid_graph(24, 24)
+        ours_t = PramTracker(n=g.n)
+        build_hopset(g, PARAMS, seed=15, tracker=ours_t)
+        ks_t = PramTracker(n=g.n)
+        ks97_hopset(g, seed=16, tracker=ks_t)
+        assert ours_t.work < ks_t.work
+
+    def test_power_law_graph(self):
+        g = barabasi_albert_graph(500, 3, seed=17)
+        hs = build_hopset(g, PARAMS, seed=18)
+        hs.verify_edge_weights()
+        d_true = exact_distance(g, 0, g.n - 1)
+        est, _ = hopset_distance(hs, 0, g.n - 1)
+        assert est >= d_true - 1e-9
+
+
+class TestCrossValidation:
+    def test_est_modes_agree_statistically(self):
+        # round-synchronous quantization changes individual assignments
+        # but not aggregate structure: cluster counts within 2x
+        from repro.clustering import est_cluster
+
+        g = gnm_random_graph(300, 1500, seed=19, connected=True)
+        beta = 0.3
+        counts_exact = [est_cluster(g, beta, seed=s, method="exact").num_clusters for s in range(5)]
+        counts_round = [est_cluster(g, beta, seed=s, method="round").num_clusters for s in range(5)]
+        assert 0.5 <= np.mean(counts_round) / np.mean(counts_exact) <= 2.0
+
+    def test_all_generators_through_spanner(self):
+        from repro.graph import torus_graph, watts_strogatz_graph, random_geometric_graph
+
+        for g in (
+            torus_graph(8, 8),
+            watts_strogatz_graph(100, 3, 0.1, seed=20),
+            random_geometric_graph(120, 0.2, seed=21),
+        ):
+            sp = unweighted_spanner(g, 2, seed=22)
+            verify_spanner(g, sp)
+
+    def test_hopset_on_spanner_composition(self):
+        # sparsify first, then shortcut: the distances compose within
+        # multiplied bounds
+        g = gnm_random_graph(400, 4000, seed=23, connected=True)
+        sp = unweighted_spanner(g, 2, seed=24)
+        h = sp.subgraph()
+        hs = build_hopset(h, PARAMS, seed=25)
+        d_g = exact_distance(g, 0, g.n - 1)
+        est, _ = hopset_distance(hs, 0, g.n - 1)
+        assert est <= sp.stretch_bound * PARAMS.predicted_distortion(h.n) * max(d_g, 1)

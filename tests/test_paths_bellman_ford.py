@@ -1,0 +1,109 @@
+"""Unit tests for hop-limited Bellman-Ford over arc sets."""
+
+import numpy as np
+import pytest
+
+from repro.graph import from_edges, gnm_random_graph, path_graph, with_random_weights
+from repro.paths import (
+    ArcSet,
+    arcs_from_graph,
+    combine_arcs,
+    hop_limited_distances,
+    hop_limited_sssp,
+)
+from repro.paths.bellman_ford import hop_limited_st
+from repro.paths.dijkstra import dijkstra_scipy
+from repro.pram import PramTracker
+
+
+class TestArcSet:
+    def test_arcs_from_graph_doubles(self, triangle):
+        arcs = arcs_from_graph(triangle)
+        assert arcs.size == 6
+        assert arcs.n == 3
+
+    def test_combine_adds_both_directions(self, triangle):
+        arcs = arcs_from_graph(triangle)
+        aug = combine_arcs(arcs, np.array([0]), np.array([2]), np.array([0.5]))
+        assert aug.size == 8
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            ArcSet(n=2, src=np.array([0]), dst=np.array([1, 0]), w=np.array([1.0]))
+
+
+class TestHopLimited:
+    def test_h_hop_semantics_on_path(self):
+        g = path_graph(8)
+        arcs = arcs_from_graph(g)
+        dist, hops, _ = hop_limited_distances(arcs, np.array([0]), h=3)
+        assert dist[3] == 3.0
+        assert np.isinf(dist[4])  # needs 4 hops
+
+    def test_full_budget_matches_dijkstra(self, small_weighted):
+        arcs = arcs_from_graph(small_weighted)
+        dist, _, _ = hop_limited_distances(arcs, np.array([0]), h=small_weighted.n)
+        assert np.allclose(dist, dijkstra_scipy(small_weighted, 0))
+
+    def test_monotone_in_h(self, small_weighted):
+        arcs = arcs_from_graph(small_weighted)
+        prev = np.full(small_weighted.n, np.inf)
+        for h in (1, 2, 4, 8, 16):
+            dist, _, _ = hop_limited_distances(arcs, np.array([0]), h=h)
+            assert (dist <= prev + 1e-12).all()
+            prev = dist
+
+    def test_hops_report_stabilization_round(self):
+        g = path_graph(6)
+        arcs = arcs_from_graph(g)
+        dist, hops, _ = hop_limited_distances(arcs, np.array([0]), h=10)
+        assert list(hops[:6]) == [0, 1, 2, 3, 4, 5]
+
+    def test_early_stop_rounds(self):
+        g = path_graph(4)
+        arcs = arcs_from_graph(g)
+        t = PramTracker(n=4, depth_per_round=1)
+        _, _, rounds = hop_limited_distances(arcs, np.array([0]), h=100, tracker=t)
+        assert rounds <= 5  # 3 productive + 1 no-change round
+        assert t.rounds == rounds
+
+    def test_synchronous_vs_shortcut(self):
+        # a direct heavy edge vs a lighter 2-hop path: h=1 must take the
+        # heavy edge, h=2 the light path
+        g = from_edges(3, [(0, 2), (0, 1), (1, 2)], weights=[5.0, 1.0, 1.0])
+        arcs = arcs_from_graph(g)
+        d1, _, _ = hop_limited_distances(arcs, np.array([0]), h=1)
+        d2, _, _ = hop_limited_distances(arcs, np.array([0]), h=2)
+        assert d1[2] == 5.0
+        assert d2[2] == 2.0
+
+    def test_multi_source(self, small_weighted):
+        arcs = arcs_from_graph(small_weighted)
+        dist, _, _ = hop_limited_distances(arcs, np.array([0, 1]), h=small_weighted.n)
+        d0 = dijkstra_scipy(small_weighted, 0)
+        d1 = dijkstra_scipy(small_weighted, 1)
+        assert np.allclose(dist, np.minimum(d0, d1))
+
+    def test_work_charged_per_round(self):
+        g = path_graph(5)
+        arcs = arcs_from_graph(g)
+        t = PramTracker(n=5, depth_per_round=1)
+        _, _, rounds = hop_limited_distances(arcs, np.array([0]), h=2, tracker=t, early_stop=False)
+        assert t.work == rounds * arcs.size
+
+    def test_sssp_wrapper(self, small_weighted):
+        dist, hops = hop_limited_sssp(arcs_from_graph(small_weighted), 0, 5)
+        assert dist.shape[0] == small_weighted.n
+
+    def test_st_wrapper(self):
+        g = path_graph(4)
+        assert hop_limited_st(arcs_from_graph(g), 0, 3, h=3) == 3.0
+        assert np.isinf(hop_limited_st(arcs_from_graph(g), 0, 3, h=2))
+
+    def test_extra_arcs_shortcut(self):
+        g = path_graph(10)
+        arcs = combine_arcs(
+            arcs_from_graph(g), np.array([0]), np.array([9]), np.array([9.0])
+        )
+        dist, hops, _ = hop_limited_distances(arcs, np.array([0]), h=1)
+        assert dist[9] == 9.0 and hops[9] == 1

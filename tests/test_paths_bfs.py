@@ -1,0 +1,132 @@
+"""Unit tests for level-synchronous BFS (including start-time races)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import from_edges, gnm_random_graph, grid_graph, path_graph
+from repro.paths import bfs, multi_source_bfs
+from repro.paths.bfs import INF, bfs_with_start_times
+from repro.paths.dijkstra import dijkstra_scipy
+from repro.pram import PramTracker
+
+
+class TestSingleSource:
+    def test_path_graph_distances(self):
+        g = path_graph(6)
+        dist, parent = bfs(g, 0)
+        assert list(dist) == [0, 1, 2, 3, 4, 5]
+        assert parent[0] == -1
+        assert all(parent[i] == i - 1 for i in range(1, 6))
+
+    def test_matches_scipy_on_random(self):
+        for seed in range(3):
+            g = gnm_random_graph(100, 300, seed=seed, connected=True)
+            dist, _ = bfs(g, 0)
+            assert np.array_equal(dist.astype(float), dijkstra_scipy(g, 0))
+
+    def test_unreachable_inf(self, disconnected):
+        dist, parent, owner = multi_source_bfs(disconnected, np.array([0]))
+        assert dist[3] == INF
+        assert owner[3] == -1
+        assert parent[6] == -1
+
+    def test_depth_equals_eccentricity(self):
+        g = grid_graph(5, 7)
+        t = PramTracker(n=g.n, depth_per_round=1)
+        bfs(g, 0, tracker=t)
+        ecc = 4 + 6  # corner eccentricity
+        # the final frontier still performs one (empty) expansion round
+        assert t.rounds == ecc + 1
+
+    def test_work_linear_in_arcs(self):
+        g = grid_graph(10, 10)
+        t = PramTracker(n=g.n)
+        bfs(g, 0, tracker=t)
+        assert t.work <= 2 * g.num_arcs  # every arc scanned O(1) times
+
+
+class TestMultiSource:
+    def test_ownership_partitions(self, small_grid):
+        sources = np.array([0, 63])
+        dist, parent, owner = multi_source_bfs(small_grid, sources)
+        assert set(np.unique(owner)) == {0, 63}
+        assert owner[0] == 0 and owner[63] == 63
+
+    def test_nearest_source_wins(self):
+        g = path_graph(10)
+        dist, _, owner = multi_source_bfs(g, np.array([0, 9]))
+        assert owner[1] == 0
+        assert owner[8] == 9
+        assert dist[4] == 4
+
+    def test_tie_break_deterministic(self):
+        g = path_graph(5)
+        # vertex 2 equidistant from both sources; source listed first wins
+        _, _, owner = multi_source_bfs(g, np.array([0, 4]))
+        assert owner[2] == 0
+        _, _, owner2 = multi_source_bfs(g, np.array([4, 0]))
+        assert owner2[2] == 4
+
+
+class TestStartTimeRace:
+    def test_delayed_source_loses_near_region(self):
+        g = path_graph(9)
+        arrival, dist, parent, owner = bfs_with_start_times(
+            g,
+            start_time=np.array([0, 4]),
+            source_ids=np.array([0, 8]),
+        )
+        # source 8 wakes at round 4; by then source 0 owns vertices 0..4
+        assert owner[4] == 0
+        assert owner[7] == 8
+
+    def test_arrival_equals_start_plus_dist(self):
+        g = grid_graph(6, 6)
+        starts = np.array([2, 0, 5])
+        srcs = np.array([0, 17, 35])
+        arrival, dist, parent, owner = bfs_with_start_times(g, starts, srcs)
+        table = {0: 2, 17: 0, 35: 5}
+        for v in range(g.n):
+            assert arrival[v] == dist[v] + table[int(owner[v])]
+
+    def test_priority_tiebreak(self):
+        g = path_graph(3)
+        # both sources reach vertex 1 at round 1; lower priority wins
+        _, _, _, owner = bfs_with_start_times(
+            g,
+            start_time=np.array([0, 0]),
+            source_ids=np.array([0, 2]),
+            priority=np.array([5.0, 1.0]),
+        )
+        assert owner[1] == 2
+
+    def test_every_vertex_claimed_when_all_sources(self, small_gnm):
+        g = small_gnm
+        n = g.n
+        arrival, dist, parent, owner = bfs_with_start_times(
+            g, np.zeros(n, dtype=np.int64), np.arange(n)
+        )
+        assert (owner == np.arange(n)).all()
+        assert (dist == 0).all()
+
+    def test_parent_chain_reaches_owner(self, small_grid):
+        g = small_grid
+        starts = np.array([0, 3])
+        srcs = np.array([0, 60])
+        _, _, parent, owner = bfs_with_start_times(g, starts, srcs)
+        from repro.paths.trees import extract_path
+
+        for v in (5, 30, 63):
+            path = extract_path(parent, v)
+            assert path[0] == owner[v]
+
+    def test_max_levels_truncation(self):
+        g = path_graph(20)
+        arrival, dist, parent, owner = bfs_with_start_times(
+            g,
+            start_time=np.array([0]),
+            source_ids=np.array([0]),
+            max_levels=3,
+        )
+        assert owner[3] == 0
+        assert owner[10] == -1

@@ -1,0 +1,164 @@
+"""Unit tests for the PRAM work/depth cost model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.pram import (
+    LedgerReport,
+    PramTracker,
+    charge_filter,
+    charge_prefix_sum,
+    charge_reduce,
+    charge_semisort,
+    charge_pointer_jumping,
+    fit_scaling_exponent,
+    log_star,
+    null_tracker,
+)
+from repro.pram.report import geometric_mean
+
+
+class TestLogStar:
+    def test_small_values(self):
+        assert log_star(1) == 0
+        assert log_star(2) == 1
+        assert log_star(4) == 2
+        assert log_star(16) == 3
+        assert log_star(65536) == 4
+
+    def test_monotone(self):
+        vals = [log_star(n) for n in (2, 10, 100, 10**6, 10**12)]
+        assert vals == sorted(vals)
+        assert vals[-1] <= 5
+
+
+class TestTracker:
+    def test_charge_accumulates(self):
+        t = PramTracker(n=100)
+        t.charge(work=10, depth=2)
+        t.charge(work=5, depth=1)
+        assert t.work == 15 and t.depth == 3
+
+    def test_parallel_round_depth(self):
+        t = PramTracker(n=100, depth_per_round=3)
+        t.parallel_round(work=50, rounds=4)
+        assert t.work == 50
+        assert t.depth == 12
+        assert t.rounds == 4
+
+    def test_default_depth_per_round_is_log_star(self):
+        t = PramTracker(n=10**6)
+        assert t.depth_per_round == log_star(10**6)
+
+    def test_sequential_charge(self):
+        t = PramTracker(n=10)
+        t.sequential(7)
+        assert t.work == 7 and t.depth == 7
+
+    def test_disabled_tracker_noop(self):
+        t = null_tracker()
+        t.charge(work=100, depth=100)
+        t.parallel_round(work=5)
+        assert t.work == 0 and t.depth == 0
+
+    def test_phases_attribution(self):
+        t = PramTracker(n=10, depth_per_round=1)
+        with t.phase("a"):
+            t.charge(work=3, depth=1)
+            with t.phase("b"):
+                t.charge(work=2, depth=1)
+        assert t.phase_work["a"] == 5
+        assert t.phase_work["b"] == 2
+        assert t.phase_depth["a"] == 2
+
+    def test_parallel_children_max_depth(self):
+        t = PramTracker(n=10, depth_per_round=1)
+        c1, c2 = t.fork(), t.fork()
+        c1.charge(work=10, depth=5)
+        c2.charge(work=20, depth=3)
+        t.parallel_children([c1, c2])
+        assert t.work == 30
+        assert t.depth == 5
+
+    def test_sequential_children_sum_depth(self):
+        t = PramTracker(n=10, depth_per_round=1)
+        c1, c2 = t.fork(), t.fork()
+        c1.charge(work=10, depth=5)
+        c2.charge(work=20, depth=3)
+        t.sequential_children([c1, c2])
+        assert t.work == 30
+        assert t.depth == 8
+
+    def test_fork_inherits_settings(self):
+        t = PramTracker(n=50, depth_per_round=7)
+        c = t.fork()
+        assert c.depth_per_round == 7 and c.enabled
+
+    def test_snapshot(self):
+        t = PramTracker(n=10)
+        t.parallel_round(work=4)
+        snap = t.snapshot()
+        assert snap["work"] == 4 and snap["rounds"] == 1
+
+    def test_empty_children_noop(self):
+        t = PramTracker(n=10)
+        t.parallel_children([])
+        assert t.work == 0
+
+
+class TestPrimitives:
+    def test_prefix_sum_costs(self):
+        t = PramTracker(n=1000, depth_per_round=1)
+        charge_prefix_sum(t, 1000)
+        assert t.work == 2000
+        assert t.depth == math.ceil(math.log2(1000))
+
+    def test_filter_more_than_scan(self):
+        t1 = PramTracker(n=100, depth_per_round=1)
+        t2 = PramTracker(n=100, depth_per_round=1)
+        charge_prefix_sum(t1, 100)
+        charge_filter(t2, 100)
+        assert t2.work > t1.work
+
+    def test_all_primitives_charge_something(self):
+        for fn in (charge_prefix_sum, charge_filter, charge_semisort,
+                   charge_reduce, charge_pointer_jumping):
+            t = PramTracker(n=64, depth_per_round=1)
+            fn(t, 64)
+            assert t.work > 0 and t.depth > 0
+
+    def test_pointer_jumping_superlinear(self):
+        t = PramTracker(n=1024, depth_per_round=1)
+        charge_pointer_jumping(t, 1024)
+        assert t.work == 1024 * 10
+
+
+class TestReport:
+    def test_fit_scaling_exponent_exact(self):
+        xs = [10, 100, 1000]
+        ys = [5 * x**2 for x in xs]
+        a, c = fit_scaling_exponent(xs, ys)
+        assert a == pytest.approx(2.0, abs=1e-9)
+        assert c == pytest.approx(5.0, rel=1e-6)
+
+    def test_fit_requires_two_points(self):
+        with pytest.raises(ValueError):
+            fit_scaling_exponent([5, 5], [1, 2])
+
+    def test_fit_ignores_nonpositive(self):
+        a, c = fit_scaling_exponent([1, 10, 100, 0], [2, 20, 200, -5])
+        assert a == pytest.approx(1.0, abs=1e-9)
+
+    def test_ledger_report_row(self):
+        t = PramTracker(n=10)
+        t.parallel_round(work=5)
+        rep = LedgerReport.from_tracker("x", t, size=3.0)
+        row = rep.row()
+        assert row["label"] == "x" and row["work"] == 5 and row["size"] == 3.0
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1, 100]) == pytest.approx(10.0)
+        with pytest.raises(ValueError):
+            geometric_mean([1, 0])

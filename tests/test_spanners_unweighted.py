@@ -1,0 +1,100 @@
+"""Unit tests for Algorithm 2 (unweighted spanners)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError, VerificationError
+from repro.graph import gnm_random_graph, grid_graph, path_graph, with_random_weights
+from repro.graph.validation import is_subgraph
+from repro.pram import PramTracker
+from repro.spanners import max_edge_stretch, unweighted_spanner, verify_spanner
+from repro.spanners.unweighted import spanner_beta
+
+
+class TestUnweightedSpanner:
+    def test_is_subgraph_and_spanning(self, small_gnm):
+        sp = unweighted_spanner(small_gnm, 3, seed=1)
+        h = sp.subgraph()
+        assert is_subgraph(h, small_gnm)
+        from repro.graph import is_connected
+
+        assert is_connected(h)  # input was connected; forest + extras span
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 5, 8])
+    def test_stretch_within_bound(self, small_gnm, k):
+        sp = unweighted_spanner(small_gnm, k, seed=k)
+        assert verify_spanner(small_gnm, sp) <= sp.stretch_bound
+
+    def test_stretch_usually_much_better(self, small_gnm):
+        sp = unweighted_spanner(small_gnm, 3, seed=2)
+        # in practice stretch is close to 2k-1, far under the certified O(k)
+        assert max_edge_stretch(small_gnm, sp) <= 2 * 3 + 3
+
+    def test_size_shrinks_with_k(self):
+        g = gnm_random_graph(300, 2500, seed=3, connected=True)
+        sizes = []
+        for k in (1, 3, 6):
+            reps = [unweighted_spanner(g, k, seed=s).size for s in range(3)]
+            sizes.append(np.mean(reps))
+        assert sizes[0] >= sizes[1] >= sizes[2]
+
+    def test_size_bound_holds_on_average(self):
+        g = gnm_random_graph(400, 4000, seed=4, connected=True)
+        k = 2
+        sizes = [unweighted_spanner(g, k, seed=s).size for s in range(5)]
+        bound = g.n ** (1 + 1 / k)
+        assert np.mean(sizes) <= 3 * bound  # constant-factor slack
+
+    def test_path_graph_keeps_everything(self):
+        g = path_graph(20)
+        sp = unweighted_spanner(g, 3, seed=1)
+        assert sp.size == g.m  # a path has no removable edges
+
+    def test_rejects_weighted_input(self, small_weighted):
+        with pytest.raises(ParameterError):
+            unweighted_spanner(small_weighted, 3)
+
+    def test_rejects_bad_k(self, small_gnm):
+        with pytest.raises(ParameterError):
+            unweighted_spanner(small_gnm, 0.5)
+
+    def test_meta_populated(self, small_gnm):
+        sp = unweighted_spanner(small_gnm, 3, seed=1)
+        assert sp.meta["k"] == 3.0
+        assert sp.meta["num_clusters"] >= 1
+        assert sp.meta["forest_edges"] + sp.meta["boundary_edges"] >= sp.size
+
+    def test_spanner_beta_formula(self):
+        import math
+
+        assert spanner_beta(100, 2) == pytest.approx(math.log(100) / 4)
+
+    def test_work_linear(self, small_gnm):
+        t = PramTracker(n=small_gnm.n)
+        unweighted_spanner(small_gnm, 3, seed=1, tracker=t)
+        assert t.work <= 40 * small_gnm.m  # O(m) with modest constants
+
+    def test_reuse_clustering(self, small_gnm):
+        from repro.clustering import est_cluster
+
+        c = est_cluster(small_gnm, spanner_beta(small_gnm.n, 3), seed=5)
+        sp1 = unweighted_spanner(small_gnm, 3, clustering=c)
+        sp2 = unweighted_spanner(small_gnm, 3, clustering=c)
+        assert np.array_equal(sp1.edge_ids, sp2.edge_ids)
+
+    def test_density_property(self, small_gnm):
+        sp = unweighted_spanner(small_gnm, 3, seed=1)
+        assert sp.density == pytest.approx(sp.size / small_gnm.n)
+
+    def test_deterministic_given_seed(self, small_gnm):
+        a = unweighted_spanner(small_gnm, 3, seed=42)
+        b = unweighted_spanner(small_gnm, 3, seed=42)
+        assert np.array_equal(a.edge_ids, b.edge_ids)
+
+    def test_disconnected_input_spans_components(self, disconnected):
+        sp = unweighted_spanner(disconnected, 2, seed=1)
+        from repro.graph import connected_components
+
+        ncc_g, _ = connected_components(disconnected)
+        ncc_h, _ = connected_components(sp.subgraph())
+        assert ncc_g == ncc_h
