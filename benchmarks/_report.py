@@ -7,6 +7,7 @@ and to ``bench_results/<table>.txt`` so EXPERIMENTS.md can quote them.
 
 from __future__ import annotations
 
+import json
 import os
 from collections import OrderedDict
 from typing import Any, Dict, List
@@ -15,13 +16,29 @@ from repro.exp import format_table
 
 _TABLES: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
 
-RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "bench_results")
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+RESULTS_DIR = os.path.join(REPO_ROOT, "bench_results")
 
 
 def record(table: str, columns: List[str], **row: Any) -> None:
     """Append one row to the named table (columns fixed by first caller)."""
     entry = _TABLES.setdefault(table, {"columns": list(columns), "rows": []})
     entry["rows"].append(dict(row))
+
+
+def record_json(filename: str, payload: Dict[str, Any]) -> str:
+    """Write a machine-readable result file at the repo root.
+
+    Benches use this for perf-trajectory artifacts (e.g.
+    ``BENCH_engine.json``) that future PRs regress against; written
+    immediately (not at flush) so a crashed session still leaves data.
+    Returns the path written.
+    """
+    path = os.path.join(REPO_ROOT, filename)
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return path
 
 
 def flush() -> None:

@@ -1,0 +1,129 @@
+"""Backend shoot-out for the bucket shortest-path engine.
+
+Compares the heapq reference, the vectorized numpy kernel, and (when
+installed) the numba JIT kernel on the workloads the engine actually
+serves: single-source SSSP and the all-source EST race, at the
+acceptance scale of n = 10^5, m = 5*10^5.  Emits a machine-readable
+``BENCH_engine.json`` at the repo root via :func:`_report.record_json`
+so future PRs have a perf trajectory to regress against — the
+acceptance bar for this PR is ``numpy >= 5x reference`` on the big
+instance.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+import _report
+from repro.graph import gnm_random_graph, with_random_weights
+from repro.kernels import available_backends
+from repro.paths import dijkstra_scipy, shortest_paths
+from repro.pram import PramTracker
+
+COLUMNS = ["workload", "n", "m", "backend", "seconds", "speedup_vs_reference", "buckets", "rounds"]
+
+BIG_N, BIG_M = 100_000, 500_000
+
+
+def _big_graph():
+    g = gnm_random_graph(BIG_N, BIG_M, seed=71, connected=True)
+    return with_random_weights(g, 1.0, 100.0, "uniform", seed=72)
+
+
+def _time_backend(g, sources, offsets, backend, repeats=1):
+    best = float("inf")
+    res = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        res = shortest_paths(g, sources, offsets=offsets, backend=backend)
+        best = min(best, time.perf_counter() - t0)
+    return best, res
+
+
+def test_engine_backends_big_graph(benchmark):
+    g = benchmark.pedantic(_big_graph, rounds=1, iterations=1)
+    rng = np.random.default_rng(73)
+    workloads = {
+        "sssp_single_source": (np.asarray([0]), np.zeros(1)),
+        "est_all_source_race": (np.arange(g.n), rng.exponential(5.0, g.n)),
+    }
+    payload = {
+        "n": g.n,
+        "m": g.m,
+        "weights": "uniform[1,100]",
+        "backends": {},
+        "acceptance": {"target_speedup": 5.0},
+    }
+    ref_dist = {}
+    for name, (srcs, offs) in workloads.items():
+        ref_t, ref_res = _time_backend(g, srcs, offs, "reference", repeats=2)
+        ref_dist[name] = ref_res.dist
+        payload["backends"].setdefault("reference", {})[name] = {
+            "seconds": ref_t,
+            "speedup_vs_reference": 1.0,
+            "buckets": ref_res.buckets,
+            "relax_rounds": ref_res.relax_rounds,
+        }
+        _report.record(
+            "Engine backend shoot-out",
+            COLUMNS,
+            workload=name, n=g.n, m=g.m, backend="reference",
+            seconds=round(ref_t, 3), speedup_vs_reference=1.0,
+            buckets=ref_res.buckets, rounds=ref_res.relax_rounds,
+        )
+        for backend in available_backends():
+            if backend == "reference":
+                continue
+            sec, res = _time_backend(g, srcs, offs, backend, repeats=2)
+            assert np.allclose(res.dist, ref_res.dist)
+            speedup = ref_t / max(sec, 1e-12)
+            payload["backends"].setdefault(backend, {})[name] = {
+                "seconds": sec,
+                "speedup_vs_reference": speedup,
+                "buckets": res.buckets,
+                "relax_rounds": res.relax_rounds,
+                "arcs_relaxed": res.arcs_relaxed,
+            }
+            _report.record(
+                "Engine backend shoot-out",
+                COLUMNS,
+                workload=name, n=g.n, m=g.m, backend=backend,
+                seconds=round(sec, 3), speedup_vs_reference=round(speedup, 1),
+                buckets=res.buckets, rounds=res.relax_rounds,
+            )
+    # oracle spot check on the big instance
+    oracle = dijkstra_scipy(g, 0)
+    assert np.allclose(ref_dist["sssp_single_source"], oracle)
+    numpy_speedups = [
+        w["speedup_vs_reference"] for w in payload["backends"]["numpy"].values()
+    ]
+    payload["acceptance"]["numpy_min_speedup"] = min(numpy_speedups)
+    payload["acceptance"]["passed"] = min(numpy_speedups) >= 5.0
+    path = _report.record_json("BENCH_engine.json", payload)
+    assert min(numpy_speedups) >= 5.0, f"speedups {numpy_speedups} below 5x bar ({path})"
+
+
+def test_engine_ledger_matches_paper_accounting(benchmark):
+    """Dial mode: tracker rounds == distance levels, work == arcs."""
+
+    def run():
+        g = gnm_random_graph(20_000, 100_000, seed=74, connected=True)
+        g = with_random_weights(g, 1, 8, "integer", seed=75)
+        w = g.weights.astype(np.int64)
+        t = PramTracker(n=g.n, depth_per_round=1)
+        res = shortest_paths(g, 0, offsets=np.array([0]), weights=w, tracker=t)
+        return g, t, res
+
+    g, t, res = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert res.relax_rounds == res.buckets  # Dial: one round per level
+    assert t.rounds == res.relax_rounds
+    assert t.work == res.arcs_relaxed
+    _report.record(
+        "Engine PRAM ledger (Dial mode)",
+        ["n", "m", "levels", "work", "work_per_arc"],
+        n=g.n, m=g.m, levels=res.buckets, work=t.work,
+        work_per_arc=round(t.work / g.num_arcs, 2),
+    )

@@ -9,8 +9,15 @@ Commands
     Build a hopset and answer s-t queries.
 ``cluster``
     Run one EST clustering and print its statistics.
+``sssp``
+    Run the bucket-parallel shortest-path engine from a source and
+    print distances, bucket structure, and the PRAM ledger.
 ``generate``
     Emit a synthetic graph as an edge list.
+
+Weighted commands accept ``--backend {numpy,numba,reference}`` to pick
+the shortest-path kernel (see :mod:`repro.paths.engine`); ``numba``
+silently degrades to ``numpy`` when the JIT toolchain is missing.
 
 Examples::
 
@@ -18,6 +25,7 @@ Examples::
     python -m repro.cli spanner -i g.txt -k 3 --seed 1
     python -m repro.cli hopset -i g.txt --query 0 899
     python -m repro.cli cluster -i g.txt --beta 0.2
+    python -m repro.cli sssp -i g.txt --source 0 --backend numpy --check
 """
 
 from __future__ import annotations
@@ -52,6 +60,15 @@ def _add_io_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--seed", type=int, default=0)
 
 
+def _add_backend_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--backend",
+        choices=["numpy", "numba", "reference"],
+        default=None,
+        help="shortest-path kernel (default: engine default, numpy)",
+    )
+
+
 def cmd_generate(args) -> int:
     if args.kind == "grid":
         g = grid_graph(args.rows, args.cols)
@@ -79,7 +96,7 @@ def cmd_spanner(args) -> int:
     if g.is_unweighted:
         sp = unweighted_spanner(g, args.k, seed=args.seed, tracker=t)
     else:
-        sp = weighted_spanner(g, args.k, seed=args.seed, tracker=t)
+        sp = weighted_spanner(g, args.k, seed=args.seed, tracker=t, backend=args.backend)
     stretch = max_edge_stretch(g, sp, sample_edges=min(g.m, 2000), seed=1)
     print(f"graph: n={g.n} m={g.m} {'unweighted' if g.is_unweighted else 'weighted'}")
     print(f"spanner: {sp.size} edges ({100 * sp.size / max(g.m, 1):.1f}% kept)")
@@ -97,7 +114,7 @@ def cmd_hopset(args) -> int:
     g = _load_graph(args)
     params = HopsetParams(epsilon=args.epsilon, delta=1.5, gamma1=0.15, gamma2=0.5)
     t = PramTracker(n=g.n)
-    hs = build_hopset(g, params, seed=args.seed, tracker=t)
+    hs = build_hopset(g, params, seed=args.seed, tracker=t, backend=args.backend)
     print(f"graph: n={g.n} m={g.m}")
     print(f"hopset: {hs.size} edges ({hs.star_count} star, {hs.clique_count} clique)")
     print(f"pram: work={t.work} depth={t.depth}")
@@ -144,12 +161,47 @@ def cmd_cluster(args) -> int:
     from repro.clustering import cluster_radii, cut_fraction, est_cluster
 
     g = _load_graph(args)
-    c = est_cluster(g, args.beta, seed=args.seed)
+    c = est_cluster(g, args.beta, seed=args.seed, backend=args.backend)
     radii = cluster_radii(c)
     print(f"graph: n={g.n} m={g.m}")
     print(f"clusters: {c.num_clusters} (sizes: max={int(c.sizes.max())}, median={int(np.median(c.sizes))})")
     print(f"max radius: {radii.max():.1f} (Lemma 2.1 bound {2 * np.log(max(g.n, 2)) / args.beta:.1f})")
     print(f"cut fraction: {cut_fraction(g, c):.4f}")
+    return 0
+
+
+def cmd_sssp(args) -> int:
+    from repro.paths.engine import shortest_paths
+
+    g = _load_graph(args)
+    t = PramTracker(n=g.n)
+    res = shortest_paths(
+        g, args.source, delta=args.delta, backend=args.backend, tracker=t
+    )
+    if res.dist.dtype.kind == "f":
+        finite = np.isfinite(res.dist)
+    else:
+        finite = res.dist < np.iinfo(np.int64).max
+    reached = int(finite.sum())
+    print(f"graph: n={g.n} m={g.m} {'unweighted' if g.is_unweighted else 'weighted'}")
+    print(f"engine: backend={res.backend} delta={res.delta:g}")
+    print(
+        f"sssp from {args.source}: reached {reached}/{g.n}, "
+        f"max dist {float(res.dist[finite].max()) if reached else float('inf'):g}"
+    )
+    print(
+        f"schedule: {res.buckets} buckets, {res.relax_rounds} relaxation rounds, "
+        f"{res.arcs_relaxed} arcs relaxed"
+    )
+    print(f"pram: work={t.work} depth={t.depth} rounds={t.rounds}")
+    if args.check:
+        from repro.paths.dijkstra import dijkstra_scipy
+
+        oracle = dijkstra_scipy(g, args.source)
+        mine = np.where(finite, res.dist.astype(np.float64), np.inf)
+        ok = np.allclose(mine, oracle, equal_nan=True)
+        print(f"oracle check: {'match' if ok else 'MISMATCH'}")
+        return 0 if ok else 1
     return 0
 
 
@@ -172,20 +224,31 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("spanner", help="build a spanner")
     _add_io_args(p)
+    _add_backend_arg(p)
     p.add_argument("-k", type=float, default=3.0, help="stretch parameter")
     p.add_argument("-o", "--output", help="write the spanner edge list here")
     p.set_defaults(fn=cmd_spanner)
 
     p = sub.add_parser("hopset", help="build a hopset (and query)")
     _add_io_args(p)
+    _add_backend_arg(p)
     p.add_argument("--epsilon", type=float, default=0.5)
     p.add_argument("--query", type=int, nargs=2, metavar=("S", "T"))
     p.set_defaults(fn=cmd_hopset)
 
     p = sub.add_parser("cluster", help="run one EST clustering")
     _add_io_args(p)
+    _add_backend_arg(p)
     p.add_argument("--beta", type=float, default=0.2)
     p.set_defaults(fn=cmd_cluster)
+
+    p = sub.add_parser("sssp", help="run the bucket shortest-path engine")
+    _add_io_args(p)
+    _add_backend_arg(p)
+    p.add_argument("--source", type=int, default=0)
+    p.add_argument("--delta", type=float, default=None, help="bucket width (default: heuristic)")
+    p.add_argument("--check", action="store_true", help="verify against the scipy oracle")
+    p.set_defaults(fn=cmd_sssp)
 
     p = sub.add_parser("connectivity", help="parallel connectivity by EST contraction")
     _add_io_args(p)

@@ -23,7 +23,7 @@ import numpy as np
 from repro.errors import ParameterError
 from repro.graph.csr import CSRGraph
 from repro.paths.bfs import bfs_with_start_times
-from repro.paths.dijkstra import dijkstra
+from repro.paths.engine import shortest_paths
 from repro.paths.weighted_bfs import weighted_bfs_with_start_times
 from repro.paths.trees import tree_depths
 from repro.pram.tracker import PramTracker, null_tracker
@@ -108,19 +108,24 @@ def est_cluster(
     method: str = "auto",
     tracker: Optional[PramTracker] = None,
     shifts: Optional[np.ndarray] = None,
+    backend: Optional[str] = None,
 ) -> Clustering:
     """Run EST clustering on ``g`` with parameter ``beta``.
 
     Parameters
     ----------
     method:
-        ``"exact"`` — Dijkstra race with real shifts (the definition);
+        ``"exact"`` — shortest-path race with real shifts (the
+        definition), executed on the bucket engine;
         ``"round"`` — round-synchronous race on quantized shifts
         (unweighted BFS, or Dial buckets when weights are integers);
         ``"auto"`` — ``round`` for unweighted graphs, ``exact`` otherwise.
     shifts:
         Pre-drawn shifts (tests/coupling experiments); drawn from
         ``seed`` if omitted.
+    backend:
+        Shortest-path kernel for the weighted races, as in
+        :func:`repro.paths.engine.shortest_paths`.
     """
     if beta <= 0 or not np.isfinite(beta):
         raise ParameterError(f"beta must be a positive float, got {beta}")
@@ -143,11 +148,13 @@ def est_cluster(
 
     if method == "exact":
         with tracker.phase("est_exact"):
-            dist, parent, owner = dijkstra(g, np.arange(n), offsets=start_real)
-            # ledger: model the race as a level-synchronous search over
-            # ceil(max arrival) unit-length levels of O(m) total work.
-            levels = int(np.ceil(dist.max())) + 1 if n else 0
-            tracker.parallel_round(work=2 * g.m + n, rounds=max(levels, 1))
+            # all-source race on the bucket engine; the engine charges
+            # the tracker its real ledger (work = arcs relaxed, rounds
+            # = relaxation rounds) instead of a synthetic estimate
+            res = shortest_paths(
+                g, np.arange(n), offsets=start_real, tracker=tracker, backend=backend
+            )
+            dist, parent, owner = res.dist, res.parent, res.owner
         dist_to_center = dist - start_real[owner]
         rounds = 0
     else:
@@ -172,7 +179,11 @@ def est_cluster(
                 )
             with tracker.phase("est_round"):
                 sdist, parent, owner, levels = weighted_bfs_with_start_times(
-                    g, start_time=start_int, weights_int=w_int, tracker=tracker
+                    g,
+                    start_time=start_int,
+                    weights_int=w_int,
+                    tracker=tracker,
+                    backend=backend,
                 )
             dist_to_center = (sdist - start_int[owner]).astype(np.float64)
             rounds = levels

@@ -74,18 +74,36 @@ class CSRGraph:
         """Number of directed CSR slots (2m for simple graphs)."""
         return int(self.indices.shape[0])
 
+    def _weight_stats(self) -> Tuple[float, float, bool]:
+        """Lazily memoized ``(min, max, is_unweighted)`` over ``edge_w``.
+
+        These are consulted on every clustering round; the arrays are
+        immutable, so one full scan per graph suffices (the memo slips
+        past the frozen dataclass via ``object.__setattr__``).
+        """
+        cached = self.__dict__.get("_wstats")
+        if cached is None:
+            if self.m:
+                w_min = float(self.edge_w.min())
+                w_max = float(self.edge_w.max())
+                cached = (w_min, w_max, w_min == 1.0 == w_max)
+            else:
+                cached = (0.0, 0.0, True)
+            object.__setattr__(self, "_wstats", cached)
+        return cached
+
     @property
     def is_unweighted(self) -> bool:
         """True when every edge weight equals 1."""
-        return bool(np.all(self.edge_w == 1.0)) if self.m else True
+        return self._weight_stats()[2]
 
     @property
     def max_weight(self) -> float:
-        return float(self.edge_w.max()) if self.m else 0.0
+        return self._weight_stats()[1]
 
     @property
     def min_weight(self) -> float:
-        return float(self.edge_w.min()) if self.m else 0.0
+        return self._weight_stats()[0]
 
     @property
     def weight_ratio(self) -> float:

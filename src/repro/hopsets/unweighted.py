@@ -33,7 +33,7 @@ from repro.graph.csr import CSRGraph
 from repro.hopsets.params import HopsetParams
 from repro.hopsets.result import HopsetResult, LevelStats
 from repro.paths.bfs import bfs
-from repro.paths.dijkstra import dijkstra
+from repro.paths.engine import shortest_paths
 from repro.paths.weighted_bfs import dial_sssp
 from repro.pram.tracker import PramTracker, null_tracker
 from repro.rng import SeedLike, resolve_rng, spawn
@@ -105,25 +105,25 @@ class _Collector:
 
 
 def _center_distances(
-    sub: CSRGraph, center: int, tracker: PramTracker
+    sub: CSRGraph, center: int, tracker: PramTracker, backend: Optional[str] = None
 ) -> np.ndarray:
     """Distances from one center in the current subgraph (the Line 9 BFS).
 
     Picks the cheapest exact engine for the weight type: unweighted ->
     level-synchronous BFS, integer weights -> Dial buckets, otherwise
-    Dijkstra (charged as a level-synchronous search).
+    the float bucket engine; all three charge the tracker their real
+    round/arc ledger.
     """
     if sub.is_unweighted:
         dist, _ = bfs(sub, center, tracker=tracker)
         return np.where(dist == np.iinfo(np.int64).max, np.inf, dist.astype(np.float64))
     w_int = sub.weights.astype(np.int64)
     if np.array_equal(w_int.astype(np.float64), sub.weights):
-        dist, _, _, _ = dial_sssp(sub, np.asarray([center]), weights_int=w_int, tracker=tracker)
+        dist, _, _, _ = dial_sssp(
+            sub, np.asarray([center]), weights_int=w_int, tracker=tracker, backend=backend
+        )
         return np.where(dist == np.iinfo(np.int64).max, np.inf, dist.astype(np.float64))
-    dist, _, _ = dijkstra(sub, center)
-    levels = int(np.ceil(np.nanmax(dist[np.isfinite(dist)]))) + 1 if np.isfinite(dist).any() else 1
-    tracker.parallel_round(work=2 * sub.m + sub.n, rounds=max(levels, 1))
-    return dist
+    return shortest_paths(sub, center, tracker=tracker, backend=backend).dist
 
 
 def _cluster_method(sub: CSRGraph, requested: str) -> str:
@@ -149,6 +149,7 @@ def _recurse(
     tracker: PramTracker,
     out: _Collector,
     star_weights: str = "tree",
+    backend: "Optional[str]" = None,
 ) -> None:
     n_sub = sub.n
     n_final = params.n_final(n_top)
@@ -157,7 +158,12 @@ def _recurse(
 
     beta = params.beta_at(level, n_top)
     clustering = est_cluster(
-        sub, beta, seed=rng, method=_cluster_method(sub, method), tracker=tracker
+        sub,
+        beta,
+        seed=rng,
+        method=_cluster_method(sub, method),
+        tracker=tracker,
+        backend=backend,
     )
     labels = clustering.labels
     sizes = clustering.sizes
@@ -192,6 +198,7 @@ def _recurse(
                 child_tracker,
                 out,
                 star_weights=star_weights,
+                backend=backend,
             )
             children.append(child_tracker)
         tracker.parallel_children(children)
@@ -218,7 +225,7 @@ def _recurse(
         bfs_children = []
         for c in center_ids:
             child_tracker = tracker.fork()
-            dists.append(_center_distances(sub, int(c), child_tracker))
+            dists.append(_center_distances(sub, int(c), child_tracker, backend=backend))
             bfs_children.append(child_tracker)
         tracker.parallel_children(bfs_children)
 
@@ -275,6 +282,7 @@ def _recurse(
             child_tracker,
             out,
             star_weights=star_weights,
+            backend=backend,
         )
         children.append(child_tracker)
     tracker.parallel_children(children)
@@ -287,6 +295,7 @@ def build_hopset(
     method: str = "auto",
     star_weights: str = "tree",
     tracker: Optional[PramTracker] = None,
+    backend: Optional[str] = None,
 ) -> HopsetResult:
     """Run Algorithm 4 on ``g`` and return the hopset.
 
@@ -305,6 +314,9 @@ def build_hopset(
         distance from the claiming center *is* the true distance — so
         this knob only matters under round-mode quantization; tests
         pin the equivalence.
+    backend:
+        Shortest-path kernel for every weighted search inside the
+        build, as in :func:`repro.paths.engine.shortest_paths`.
 
     Works on unweighted and (positive-) weighted graphs alike; the
     Section 5 pipeline calls this on rounded integer graphs.
@@ -328,6 +340,7 @@ def build_hopset(
             tracker,
             out,
             star_weights=star_weights,
+            backend=backend,
         )
     meta = {
         "epsilon": params.epsilon,

@@ -158,6 +158,7 @@ def build_weighted_hopset(
     seed: SeedLike = None,
     method: str = "exact",
     tracker: Optional[PramTracker] = None,
+    backend: Optional[str] = None,
 ) -> WeightedHopset:
     """Build per-scale hopsets for a positively weighted graph.
 
@@ -170,8 +171,11 @@ def build_weighted_hopset(
     zeta:
         Rounding distortion budget per scale (Lemma 5.2).
     method:
-        EST engine on rounded graphs; ``exact`` (Dijkstra race) by
-        default because rounded integer ranges can be large.
+        EST engine on rounded graphs; ``exact`` (bucket-engine race)
+        by default because rounded integer ranges can be large.
+    backend:
+        Shortest-path kernel for the per-scale builds, as in
+        :func:`repro.paths.engine.shortest_paths`.
     """
     if not (0 < eta < 1):
         raise ParameterError("eta must lie in (0, 1)")
@@ -197,7 +201,12 @@ def build_weighted_hopset(
             continue
         # (3) Algorithm 4 on the rounded graph
         hs = build_hopset(
-            rounded.graph, params=params, seed=child_rngs[i], method=method, tracker=child_tracker
+            rounded.graph,
+            params=params,
+            seed=child_rngs[i],
+            method=method,
+            tracker=child_tracker,
+            backend=backend,
         )
         scales.append(
             ScaleHopset(d=float(d), c=c, rounded=rounded, hopset=hs, kept_edges=int(keep.sum()))

@@ -1,0 +1,74 @@
+"""Low-level shortest-path kernels behind :mod:`repro.paths.engine`.
+
+This package is the repo's "as fast as the hardware allows" layer: each
+kernel implements the same bucket-relaxation contract on raw CSR arrays
+(no :class:`~repro.graph.csr.CSRGraph` dependency, no tracker calls) so
+backends can be swapped freely and benchmarked against each other.
+
+Backends
+--------
+``numpy``
+    Frontier-vectorized bucket relaxation (delta-stepping with Dial
+    buckets for integer weights); always available, the default.
+``numba``
+    The same algorithm JIT-compiled with numba.  Optional: when numba
+    is not importable the registry silently maps it to ``numpy`` so
+    callers can request it unconditionally.
+``reference``
+    The original pure-Python heapq Dijkstra
+    (:func:`repro.paths.dijkstra.dijkstra_reference`); kept as the
+    correctness oracle and the benchmark baseline.  Resolved by the
+    engine, not by this registry, because it lives in the paths layer.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import List
+
+from repro.errors import ParameterError
+from repro.kernels.numpy_kernel import bucket_sssp, expand_frontier
+from repro.kernels.numba_kernel import HAVE_NUMBA, bucket_sssp_numba
+
+BACKENDS = ("numpy", "numba", "reference")
+
+_warned_numba = False
+
+
+def available_backends() -> List[str]:
+    """Backends that will actually run (numba only when importable)."""
+    out = ["numpy", "reference"]
+    if HAVE_NUMBA:
+        out.insert(1, "numba")
+    return out
+
+
+def resolve_backend(name: str) -> str:
+    """Validate ``name`` and degrade ``numba`` -> ``numpy`` when the JIT
+    toolchain is absent (warning once per process)."""
+    global _warned_numba
+    if name not in BACKENDS:
+        raise ParameterError(
+            f"unknown backend {name!r}; choose from {sorted(BACKENDS)}"
+        )
+    if name == "numba" and not HAVE_NUMBA:
+        if not _warned_numba:
+            warnings.warn(
+                "numba is not installed; falling back to the numpy backend",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            _warned_numba = True
+        return "numpy"
+    return name
+
+
+__all__ = [
+    "BACKENDS",
+    "HAVE_NUMBA",
+    "available_backends",
+    "resolve_backend",
+    "bucket_sssp",
+    "bucket_sssp_numba",
+    "expand_frontier",
+]

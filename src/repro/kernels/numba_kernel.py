@@ -1,0 +1,227 @@
+"""JIT-compiled SSSP kernel (optional numba backend).
+
+Same contract as :mod:`repro.kernels.numpy_kernel` but executed as one
+compiled scalar pass: an array-based binary-heap Dijkstra whose heap
+keys are ``(distance, owner rank, insertion order)``, which reproduces
+the engine's deterministic tie-break (earlier sources win) without any
+interpreter-per-edge overhead.  Distances are computed in ``float64``;
+integer-weight callers get exact results for values below 2**53 (the
+engine converts back).
+
+Import is guarded: when numba is missing, ``HAVE_NUMBA`` is False and
+:func:`repro.kernels.resolve_backend` silently maps ``numba`` to
+``numpy`` — nothing in the repo hard-requires the JIT toolchain.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit
+
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover
+    HAVE_NUMBA = False
+
+    def njit(*args, **kwargs):  # type: ignore[misc]
+        """Stub decorator so the module still imports without numba."""
+
+        def wrap(fn):
+            return fn
+
+        if args and callable(args[0]):
+            return args[0]
+        return wrap
+
+
+@njit(cache=True)
+def _heap_sssp_core(
+    indptr, indices, weights, n, sources, offsets, ranks, max_dist
+):  # pragma: no cover - compiled path; covered when numba is present
+    inf = np.inf
+    dist = np.full(n, inf, dtype=np.float64)
+    parent = np.full(n, -1, dtype=np.int64)
+    owner = np.full(n, -1, dtype=np.int64)
+    rank = np.full(n, np.iinfo(np.int64).max, dtype=np.int64)
+    settled = np.zeros(n, dtype=np.bool_)
+
+    cap = max(4 * (sources.shape[0] + 1), 1024)
+    hk = np.empty(cap, dtype=np.float64)  # key: tentative distance
+    hr = np.empty(cap, dtype=np.int64)  # tie 1: owner rank
+    ht = np.empty(cap, dtype=np.int64)  # tie 2: insertion order
+    hv = np.empty(cap, dtype=np.int64)  # payload: vertex
+    size = 0
+    pushes = 0
+    arcs = 0
+
+    for i in range(sources.shape[0]):
+        v = sources[i]
+        d = offsets[i]
+        r = ranks[i]
+        if d < dist[v] or (d == dist[v] and r < rank[v]):
+            dist[v] = d
+            owner[v] = v
+            rank[v] = r
+            parent[v] = -1
+            if size == cap:
+                cap *= 2
+                hk = np.concatenate((hk, np.empty(size, dtype=np.float64)))
+                hr = np.concatenate((hr, np.empty(size, dtype=np.int64)))
+                ht = np.concatenate((ht, np.empty(size, dtype=np.int64)))
+                hv = np.concatenate((hv, np.empty(size, dtype=np.int64)))
+            # sift-up insert
+            j = size
+            size += 1
+            hk[j] = d
+            hr[j] = r
+            ht[j] = pushes
+            hv[j] = v
+            pushes += 1
+            while j > 0:
+                p = (j - 1) // 2
+                if hk[p] > hk[j] or (
+                    hk[p] == hk[j]
+                    and (hr[p] > hr[j] or (hr[p] == hr[j] and ht[p] > ht[j]))
+                ):
+                    hk[p], hk[j] = hk[j], hk[p]
+                    hr[p], hr[j] = hr[j], hr[p]
+                    ht[p], ht[j] = ht[j], ht[p]
+                    hv[p], hv[j] = hv[j], hv[p]
+                    j = p
+                else:
+                    break
+
+    while size > 0:
+        d = hk[0]
+        v = hv[0]
+        # pop root
+        size -= 1
+        hk[0], hr[0], ht[0], hv[0] = hk[size], hr[size], ht[size], hv[size]
+        j = 0
+        while True:
+            l = 2 * j + 1
+            rgt = l + 1
+            best = j
+            if l < size and (
+                hk[l] < hk[best]
+                or (
+                    hk[l] == hk[best]
+                    and (
+                        hr[l] < hr[best]
+                        or (hr[l] == hr[best] and ht[l] < ht[best])
+                    )
+                )
+            ):
+                best = l
+            if rgt < size and (
+                hk[rgt] < hk[best]
+                or (
+                    hk[rgt] == hk[best]
+                    and (
+                        hr[rgt] < hr[best]
+                        or (hr[rgt] == hr[best] and ht[rgt] < ht[best])
+                    )
+                )
+            ):
+                best = rgt
+            if best == j:
+                break
+            hk[best], hk[j] = hk[j], hk[best]
+            hr[best], hr[j] = hr[j], hr[best]
+            ht[best], ht[j] = ht[j], ht[best]
+            hv[best], hv[j] = hv[j], hv[best]
+            j = best
+        if settled[v] or d > dist[v]:
+            continue  # lazy deletion of stale entries
+        if max_dist >= 0.0 and d > max_dist:
+            break
+        settled[v] = True
+        dv = dist[v]
+        rv = rank[v]
+        ov = owner[v]
+        for a in range(indptr[v], indptr[v + 1]):
+            u = indices[a]
+            arcs += 1
+            nd = dv + weights[a]
+            if nd < dist[u] and not settled[u]:
+                dist[u] = nd
+                parent[u] = v
+                owner[u] = ov
+                rank[u] = rv
+                if size == cap:
+                    old = cap
+                    cap *= 2
+                    nk = np.empty(cap, dtype=np.float64)
+                    nr = np.empty(cap, dtype=np.int64)
+                    nt = np.empty(cap, dtype=np.int64)
+                    nv = np.empty(cap, dtype=np.int64)
+                    nk[:old] = hk
+                    nr[:old] = hr
+                    nt[:old] = ht
+                    nv[:old] = hv
+                    hk, hr, ht, hv = nk, nr, nt, nv
+                j = size
+                size += 1
+                hk[j] = nd
+                hr[j] = rv
+                ht[j] = pushes
+                hv[j] = u
+                pushes += 1
+                while j > 0:
+                    p = (j - 1) // 2
+                    if hk[p] > hk[j] or (
+                        hk[p] == hk[j]
+                        and (hr[p] > hr[j] or (hr[p] == hr[j] and ht[p] > ht[j]))
+                    ):
+                        hk[p], hk[j] = hk[j], hk[p]
+                        hr[p], hr[j] = hr[j], hr[p]
+                        ht[p], ht[j] = ht[j], ht[p]
+                        hv[p], hv[j] = hv[j], hv[p]
+                        j = p
+                    else:
+                        break
+
+    return dist, parent, owner, settled, arcs
+
+
+def bucket_sssp_numba(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    weights: np.ndarray,
+    n: int,
+    sources: np.ndarray,
+    offsets: np.ndarray,
+    ranks: np.ndarray,
+    delta,
+    max_dist=None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, List[int], List[int]]:
+    """Numba wrapper matching :func:`repro.kernels.numpy_kernel.bucket_sssp`.
+
+    The compiled core is sequential, so bucket statistics are
+    reconstructed from the final labeling: the work ledger gets the
+    arcs actually scanned and one round per occupied width-``delta``
+    distance band (the depth the equivalent bucket schedule would
+    take).  Raises ``RuntimeError`` when numba is unavailable; use
+    :func:`repro.kernels.resolve_backend` to fall back gracefully.
+    """
+    if not HAVE_NUMBA:  # defensive: the registry should prevent this
+        raise RuntimeError("numba backend requested but numba is not installed")
+    dist, parent, owner, settled, arcs = _heap_sssp_core(
+        np.asarray(indptr, dtype=np.int64),
+        np.asarray(indices, dtype=np.int64),
+        np.asarray(weights, dtype=np.float64),
+        n,
+        np.asarray(sources, dtype=np.int64),
+        np.asarray(offsets, dtype=np.float64),
+        np.asarray(ranks, dtype=np.int64),
+        -1.0 if max_dist is None else float(max_dist),
+    )
+    from repro.kernels.numpy_kernel import count_occupied_buckets
+
+    buckets = count_occupied_buckets(dist, settled, delta)
+    bucket_work = [int(arcs)] + [0] * max(buckets - 1, 0) if buckets else []
+    bucket_rounds = [1] * buckets
+    return dist, parent, owner, settled, bucket_work, bucket_rounds

@@ -1,0 +1,193 @@
+"""Vectorized bucket-relaxation SSSP kernel (numpy backend).
+
+The algorithm is delta-stepping without the light/heavy edge split:
+tentative distances are grouped into width-``delta`` buckets; processing
+a bucket repeatedly relaxes *all* arcs out of its frontier until no
+vertex inside the bucket improves, then moves to the next occupied
+bucket.  With positive weights this is exact: once bucket ``[lo, hi)``
+reaches its fixpoint no later relaxation can produce a distance below
+``hi`` (every candidate is ``dist[u] + w > lo`` with ``dist[u] >= lo``
+settled), so its members are final.  With ``delta <= min weight`` each
+bucket needs exactly one relaxation round and the schedule degenerates
+to Dial's algorithm — the integer-weight "weighted parallel BFS" of
+Section 5.
+
+Every relaxation round is one batched gather/scatter over all frontier
+arcs — the same expand + lexsort claim-resolution idiom as the parallel
+BFS in :mod:`repro.paths.bfs` — so a round is one CRCW PRAM step and
+the interpreter executes O(buckets x inner rounds) numpy calls instead
+of O(n + m) heap operations.
+
+Concurrent claims on a vertex are resolved deterministically: the
+lexicographically smallest ``(candidate distance, owner rank, relaxing
+vertex)`` wins, where *rank* is the position of the owning source in
+the caller's source array (earlier entries win ties, matching the
+reference Dijkstra's documented tie rule).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+INT_INF = np.iinfo(np.int64).max
+
+
+def count_occupied_buckets(dist: np.ndarray, mask: np.ndarray, delta) -> int:
+    """Distinct width-``delta`` distance bands among ``dist[mask]``.
+
+    Sequential backends (heapq reference, numba heap) reconstruct
+    their bucket ledger from the final labeling with this — the depth
+    the equivalent bucket schedule would take.
+    """
+    reached = dist[mask]
+    if reached.shape[0] == 0:
+        return 0
+    return int(np.unique((reached // float(delta)).astype(np.int64)).shape[0])
+
+
+def expand_frontier(
+    indptr: np.ndarray, frontier: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """All CSR slots out of ``frontier``: returns (arc_index, arc_source).
+
+    Per-vertex adjacency ranges are flattened with a repeat +
+    cumulative-offset trick (no Python loop over vertices).
+    """
+    starts = indptr[frontier]
+    counts = indptr[frontier + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, np.int64), np.empty(0, np.int64)
+    offsets = np.repeat(np.cumsum(counts) - counts, counts)
+    arc_index = np.arange(total, dtype=np.int64) - offsets + np.repeat(starts, counts)
+    arc_source = np.repeat(frontier, counts)
+    return arc_index, arc_source
+
+
+def bucket_sssp(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    weights: np.ndarray,
+    n: int,
+    sources: np.ndarray,
+    offsets: np.ndarray,
+    ranks: np.ndarray,
+    delta,
+    max_dist=None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, List[int], List[int]]:
+    """Multi-source bucket SSSP over raw CSR arrays.
+
+    Parameters
+    ----------
+    weights, offsets, delta:
+        Either all integral (``int64`` distances, Dial semantics) or
+        treated as ``float64``.  ``delta`` is the bucket width.
+    ranks:
+        Tie-break rank per source entry (position in the caller's
+        source array).
+    max_dist:
+        Stop once the next occupied bucket starts beyond this value;
+        vertices not settled by then keep their (possibly tentative)
+        labels — the caller decides how to report them.
+
+    Returns ``(dist, parent, owner, settled, bucket_work,
+    bucket_rounds)``: ``bucket_work[i]`` is the PRAM work (frontier
+    arcs, floored at frontier size) spent on the i-th processed bucket
+    and ``bucket_rounds[i]`` its relaxation-round count.
+    """
+    int_mode = (
+        np.issubdtype(np.asarray(weights).dtype, np.integer)
+        and np.issubdtype(np.asarray(offsets).dtype, np.integer)
+    )
+    if int_mode:
+        dtype, inf = np.int64, INT_INF
+    else:
+        dtype, inf = np.float64, np.inf
+    weights = np.asarray(weights).astype(dtype, copy=False)
+    offsets = np.asarray(offsets).astype(dtype, copy=False)
+
+    dist = np.full(n, inf, dtype=dtype)
+    parent = np.full(n, -1, dtype=np.int64)
+    owner = np.full(n, -1, dtype=np.int64)
+    rank = np.full(n, np.iinfo(np.int64).max, dtype=np.int64)
+    settled = np.zeros(n, dtype=bool)
+    bucket_work: List[int] = []
+    bucket_rounds: List[int] = []
+
+    pending: List[np.ndarray] = []
+    if sources.shape[0]:
+        # best (offset, rank) per distinct source vertex seeds the race
+        sel = np.lexsort((ranks, offsets, sources))
+        vs, off_s, rk_s = sources[sel], offsets[sel], ranks[sel]
+        first = np.empty(vs.shape[0], dtype=bool)
+        first[0] = True
+        np.not_equal(vs[1:], vs[:-1], out=first[1:])
+        vs, off_s, rk_s = vs[first], off_s[first], rk_s[first]
+        dist[vs] = off_s
+        owner[vs] = vs
+        rank[vs] = rk_s
+        pending.append(vs)
+
+    while pending:
+        pool = pending[0] if len(pending) == 1 else np.concatenate(pending)
+        pending = []
+        pool = np.unique(pool)
+        pool = pool[~settled[pool]]
+        if pool.shape[0] == 0:
+            continue
+        d_pool = dist[pool]
+        d_min = d_pool.min()
+        if max_dist is not None and d_min > max_dist:
+            pending.append(pool)  # preserved for the caller's cleanup
+            break
+        hi = (d_min // delta) * delta + delta
+        if hi <= d_min:
+            # float roundoff at extreme d_min/delta ratios can make the
+            # nominal bucket top collapse onto d_min; degrade to a
+            # single-value bucket so the frontier is never empty
+            hi = np.nextafter(d_min, np.inf)
+        in_bucket = d_pool < hi
+        frontier = pool[in_bucket]
+        if not in_bucket.all():
+            pending.append(pool[~in_bucket])
+
+        work = 0
+        rounds = 0
+        while frontier.shape[0]:
+            rounds += 1
+            settled[frontier] = True
+            arc_idx, arc_src = expand_frontier(indptr, frontier)
+            work += max(int(arc_idx.shape[0]), int(frontier.shape[0]))
+            if arc_idx.shape[0] == 0:
+                break
+            nbr = indices[arc_idx]
+            cand = dist[arc_src] + weights[arc_idx]
+            improving = cand < dist[nbr]
+            if not improving.any():
+                break
+            nbr = nbr[improving]
+            src = arc_src[improving]
+            cand = cand[improving]
+            # one winner per claimed vertex: min (cand, rank, src)
+            sel = np.lexsort((src, rank[src], cand, nbr))
+            nbr_s, src_s, cand_s = nbr[sel], src[sel], cand[sel]
+            first = np.empty(nbr_s.shape[0], dtype=bool)
+            first[0] = True
+            np.not_equal(nbr_s[1:], nbr_s[:-1], out=first[1:])
+            win_v = nbr_s[first]
+            win_p = src_s[first]
+            win_d = cand_s[first]
+            dist[win_v] = win_d
+            parent[win_v] = win_p
+            owner[win_v] = owner[win_p]
+            rank[win_v] = rank[win_p]
+            stay = win_d < hi  # improved into this bucket: re-relax now
+            frontier = win_v[stay]
+            if not stay.all():
+                pending.append(win_v[~stay])
+        bucket_work.append(work)
+        bucket_rounds.append(rounds)
+
+    return dist, parent, owner, settled, bucket_work, bucket_rounds

@@ -19,6 +19,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.graph.csr import CSRGraph
+from repro.kernels.numpy_kernel import expand_frontier
 from repro.pram.tracker import PramTracker, null_tracker
 
 INF = np.iinfo(np.int64).max
@@ -27,19 +28,10 @@ INF = np.iinfo(np.int64).max
 def _frontier_arcs(g: CSRGraph, frontier: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     """All CSR slots out of ``frontier``: returns (arc_index, arc_source).
 
-    Vectorized "expand": per-vertex adjacency ranges are flattened with
-    a repeat + cumulative-offset trick (no Python loop over vertices).
+    One shared vectorized "expand" (repeat + cumulative-offset, no
+    Python loop) serves both BFS and the bucket kernels.
     """
-    starts = g.indptr[frontier]
-    counts = g.indptr[frontier + 1] - starts
-    total = int(counts.sum())
-    if total == 0:
-        return np.empty(0, np.int64), np.empty(0, np.int64)
-    # arc_index[i] = starts[j] + (i - offset[j]) for the j-th frontier vertex
-    offsets = np.repeat(np.cumsum(counts) - counts, counts)
-    arc_index = np.arange(total, dtype=np.int64) - offsets + np.repeat(starts, counts)
-    arc_source = np.repeat(frontier, counts)
-    return arc_index, arc_source
+    return expand_frontier(g.indptr, frontier)
 
 
 def multi_source_bfs(
@@ -117,16 +109,26 @@ def bfs_with_start_times(
     src_ptr = 0  # next not-yet-woken source in (t, sid, pr) order
     levels = 0
     while True:
-        # wake sources scheduled for this round that are still unclaimed
-        while src_ptr < k and t[src_ptr] <= round_no:
-            v = sid[src_ptr]
-            if arrival[v] == INF:
-                arrival[v] = round_no
-                owner[v] = sid[src_ptr]
-                owner_prio[v] = pr[src_ptr]
-                parent[v] = -1
-                frontier = np.append(frontier, v)
-            src_ptr += 1
+        # wake sources scheduled for this round that are still unclaimed:
+        # one batched claim per round instead of np.append per source
+        j = src_ptr
+        while j < k and t[j] <= round_no:
+            j += 1
+        if j > src_ptr:
+            vs = sid[src_ptr:j]
+            prs = pr[src_ptr:j]
+            src_ptr = j
+            fresh = arrival[vs] == INF
+            vs, prs = vs[fresh], prs[fresh]
+            if vs.shape[0]:
+                # duplicates of a vertex in one wake batch: the slice is
+                # (start, priority)-sorted, so its first occurrence wins
+                uniq, first_idx = np.unique(vs, return_index=True)
+                arrival[uniq] = round_no
+                owner[uniq] = uniq
+                owner_prio[uniq] = prs[first_idx]
+                parent[uniq] = -1
+                frontier = np.concatenate([frontier, uniq]) if frontier.size else uniq
 
         if frontier.size == 0:
             if src_ptr >= k:

@@ -1,11 +1,16 @@
-"""Exact shortest paths: heap Dijkstra and the scipy oracle.
+"""Exact shortest paths: engine front-end, heapq reference, scipy oracle.
 
 Dijkstra is the sequential baseline of Theorem 1.2's comparison (the
 thing the parallel pipeline must beat in depth while staying within
-polylog factors in work).  The heap implementation supports real-valued
-start offsets, which is what makes *exact* EST clustering possible
-(cluster of v = argmin_u dist(u,v) - delta_u is a Dijkstra race with
-initial keys delta_max - delta_u).
+polylog factors in work).  Real-valued start offsets are what make
+*exact* EST clustering possible (cluster of v = argmin_u dist(u,v) -
+delta_u is a race with initial keys delta_max - delta_u).
+
+:func:`dijkstra` keeps its historical signature but now executes on
+the bucket-parallel engine (:mod:`repro.paths.engine`) — callers get
+the vectorized kernels transparently.  The original pure-Python heap
+loop survives as :func:`dijkstra_reference`: the correctness oracle,
+the benchmark baseline, and the engine's ``backend="reference"``.
 """
 
 from __future__ import annotations
@@ -22,17 +27,45 @@ def dijkstra(
     g: CSRGraph,
     sources: np.ndarray | int,
     offsets: Optional[np.ndarray] = None,
+    backend: Optional[str] = None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Multi-source Dijkstra with optional real start offsets.
+    """Multi-source exact distances with optional real start offsets.
 
     Returns ``(dist, parent, owner)``: ``dist[v]`` is
     ``min_i offsets[i] + d(sources[i], v)``, ``owner[v]`` the arg-min
     source (ties broken toward the earlier entry in ``sources``), and
-    ``parent`` the shortest-path-tree parent.
+    ``parent`` the shortest-path-tree parent.  Runs on the bucket
+    engine (``backend`` as in :func:`repro.paths.engine.shortest_paths`).
     """
-    if np.isscalar(sources):
-        sources = np.asarray([sources])
-    sources = np.asarray(sources, dtype=np.int64)
+    from repro.paths.engine import shortest_paths
+
+    if offsets is not None:
+        offsets = np.asarray(offsets, dtype=np.float64)
+    res = shortest_paths(
+        g,
+        sources,
+        offsets=offsets
+        if offsets is not None
+        else np.zeros(np.atleast_1d(np.asarray(sources)).shape[0], dtype=np.float64),
+        backend=backend,
+    )
+    return res.dist, res.parent, res.owner
+
+
+def dijkstra_reference(
+    g: CSRGraph,
+    sources: np.ndarray | int,
+    offsets: Optional[np.ndarray] = None,
+    weights: Optional[np.ndarray] = None,
+    max_dist: Optional[float] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The original pure-Python heapq Dijkstra (kept as the oracle).
+
+    Same contract as :func:`dijkstra`; ``weights`` overrides the CSR
+    slot weights and ``max_dist`` stops the search once popped keys
+    exceed it (vertices beyond stay unreached).
+    """
+    sources = np.atleast_1d(np.asarray(sources, dtype=np.int64))
     if offsets is None:
         offsets = np.zeros(sources.shape[0], dtype=np.float64)
     offsets = np.asarray(offsets, dtype=np.float64)
@@ -43,17 +76,21 @@ def dijkstra(
     owner = np.full(n, -1, dtype=np.int64)
     done = np.zeros(n, dtype=bool)
 
-    heap: list[tuple[float, int, int, int, int]] = []
+    heap: list[tuple[float, int, int, int, int, int]] = []
     for i, (s, off) in enumerate(zip(sources, offsets)):
-        # tuple: (key, tie, vertex, parent, owner); `tie` makes pops
-        # deterministic when keys collide.
-        heapq.heappush(heap, (float(off), i, int(s), -1, int(s)))
+        # tuple: (key, owner rank, relaxing vertex, vertex, parent,
+        # owner); rank first so equal-key pops favor the earlier
+        # source entry — the same tie rule the bucket kernels use.
+        heapq.heappush(heap, (float(off), i, -1, int(s), -1, int(s)))
 
-    indptr, indices, weights = g.indptr, g.indices, g.weights
+    indptr, indices = g.indptr, g.indices
+    w = g.weights if weights is None else np.asarray(weights, dtype=np.float64)
     while heap:
-        d, _, v, p, o = heapq.heappop(heap)
+        d, r, _, v, p, o = heapq.heappop(heap)
         if done[v]:
             continue
+        if max_dist is not None and d > max_dist:
+            break
         done[v] = True
         dist[v] = d
         parent[v] = p
@@ -61,10 +98,15 @@ def dijkstra(
         for j in range(indptr[v], indptr[v + 1]):
             u = int(indices[j])
             if not done[u]:
-                nd = d + float(weights[j])
+                nd = d + float(w[j])
                 if nd < dist[u]:
                     dist[u] = nd
-                    heapq.heappush(heap, (nd, v, u, v, o))
+                    heapq.heappush(heap, (nd, r, v, u, v, o))
+    if max_dist is not None:
+        pruned = ~done
+        dist[pruned] = np.inf
+        parent[pruned] = -1
+        owner[pruned] = -1
     return dist, parent, owner
 
 

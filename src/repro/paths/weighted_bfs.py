@@ -6,15 +6,17 @@ advances one *distance level* per round, so its PRAM depth is the
 number of levels — which the Klein–Subramanian rounding (Lemma 5.2)
 bounds by ``O(c k / ζ)``.
 
-:func:`dial_sssp` implements this as a bucket-queue (Dial) search whose
-rounds are charged to the tracker; it is exact for integer weights.
+:func:`dial_sssp` is now a thin validation layer over the bucket
+engine (:func:`repro.paths.engine.shortest_paths`) running in its
+integer Dial mode (``delta = 1``): each distance level is one batched
+relaxation round, exact for integer weights, and the tracker's round
+count equals the number of levels swept.
 :func:`weighted_bfs_with_start_times` is the weighted EST-clustering
 engine: a race between all vertices with integer start times.
 """
 
 from __future__ import annotations
 
-import heapq
 from typing import Optional, Tuple
 
 import numpy as np
@@ -32,6 +34,7 @@ def dial_sssp(
     offsets: Optional[np.ndarray] = None,
     max_dist: Optional[int] = None,
     tracker: Optional[PramTracker] = None,
+    backend: Optional[str] = None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int]:
     """Multi-source SSSP on integer weights by bucketed level sweeps.
 
@@ -46,10 +49,14 @@ def dial_sssp(
         shifted-start race of EST clustering).
     max_dist:
         Stop once the sweep level exceeds this (distances beyond stay INF).
+    backend:
+        Kernel choice, as in :func:`repro.paths.engine.shortest_paths`.
 
     Returns ``(dist, parent, owner, levels)``; ``levels`` is the number
     of distance levels swept, i.e. the PRAM depth in rounds.
     """
+    from repro.paths.engine import shortest_paths
+
     tracker = tracker or null_tracker()
     sources = np.asarray(sources, dtype=np.int64)
     if weights_int is None:
@@ -64,66 +71,17 @@ def dial_sssp(
         offsets = np.zeros(sources.shape[0], dtype=np.int64)
     offsets = np.asarray(offsets, dtype=np.int64)
 
-    n = g.n
-    dist = np.full(n, INF, dtype=np.int64)
-    parent = np.full(n, -1, dtype=np.int64)
-    owner = np.full(n, -1, dtype=np.int64)
-
-    # buckets keyed by tentative distance; lazy deletion on pop
-    buckets: dict[int, list[tuple[int, int, int]]] = {}
-
-    def push(d: int, v: int, p: int, o: int) -> None:
-        buckets.setdefault(d, []).append((v, p, o))
-
-    for s, off in zip(sources, offsets):
-        if int(off) < dist[s]:
-            dist[s] = int(off)
-            push(int(off), int(s), -1, int(s))
-
-    level = 0
-    levels_swept = 0
-    if buckets:
-        level = min(buckets)
-    while buckets:
-        entries = buckets.pop(level, None)
-        if entries is None:
-            if not buckets:
-                break
-            level = min(buckets)
-            continue
-        # settle vertices whose tentative distance equals the level
-        settled = [(v, p, o) for (v, p, o) in entries if dist[v] == level and owner[v] == -1]
-        if settled:
-            levels_swept += 1
-            frontier = np.asarray([v for v, _, _ in settled], dtype=np.int64)
-            for v, p, o in settled:
-                parent[v] = p
-                owner[v] = o
-            # relax all arcs out of the settled frontier (vectorized gather)
-            starts = g.indptr[frontier]
-            counts = g.indptr[frontier + 1] - starts
-            total = int(counts.sum())
-            tracker.parallel_round(work=max(total, len(settled)))
-            if total:
-                off2 = np.repeat(np.cumsum(counts) - counts, counts)
-                arc = np.arange(total, dtype=np.int64) - off2 + np.repeat(starts, counts)
-                srcs = np.repeat(frontier, counts)
-                nbrs = g.indices[arc]
-                nd = dist[srcs] + w[arc]
-                better = nd < dist[nbrs]
-                for a_i, v_i, d_i in zip(srcs[better], nbrs[better], nd[better]):
-                    d_i = int(d_i)
-                    if d_i < dist[v_i]:
-                        dist[v_i] = d_i
-                        if max_dist is None or d_i <= max_dist:
-                            push(d_i, int(v_i), int(a_i), int(owner[a_i]))
-        level += 1
-        if max_dist is not None and level > max_dist:
-            break
-
-    unreached = owner == -1
-    dist[unreached] = INF
-    return dist, parent, owner, levels_swept
+    res = shortest_paths(
+        g,
+        sources,
+        offsets=offsets,
+        weights=w,
+        delta=1,
+        max_dist=max_dist,
+        backend=backend,
+        tracker=tracker,
+    )
+    return res.dist, res.parent, res.owner, res.buckets
 
 
 def weighted_bfs_with_start_times(
@@ -131,6 +89,7 @@ def weighted_bfs_with_start_times(
     start_time: np.ndarray,
     weights_int: Optional[np.ndarray] = None,
     tracker: Optional[PramTracker] = None,
+    backend: Optional[str] = None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int]:
     """Race all vertices with integer start offsets over integer weights.
 
@@ -146,4 +105,5 @@ def weighted_bfs_with_start_times(
         weights_int=weights_int,
         offsets=np.asarray(start_time, dtype=np.int64),
         tracker=tracker,
+        backend=backend,
     )

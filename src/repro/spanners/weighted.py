@@ -85,6 +85,7 @@ def _well_separated_spanner(
     rng,
     method: str,
     tracker: PramTracker,
+    backend: Optional[str] = None,
 ) -> np.ndarray:
     """Algorithm 3 on one well-separated group; returns original edge ids.
 
@@ -125,7 +126,9 @@ def _well_separated_spanner(
         gq = q.graph
 
         with tracker.phase(f"group_level"):
-            clustering = est_cluster(gq, beta, seed=rng, method=method, tracker=tracker)
+            clustering = est_cluster(
+                gq, beta, seed=rng, method=method, tracker=tracker, backend=backend
+            )
 
         # forest edges -> original ids, and contract them for next levels
         child, parent = clustering.forest_edges()
@@ -167,6 +170,7 @@ def weighted_spanner(
     separation: float = 4.0,
     grouping: bool = True,
     tracker: Optional[PramTracker] = None,
+    backend: Optional[str] = None,
 ) -> SpannerResult:
     """Construct an O(k)-spanner of a weighted graph (Theorem 3.3).
 
@@ -178,6 +182,9 @@ def weighted_spanner(
         O(log U)-overhead scheme) — kept for the ablation benchmark.
     method:
         EST execution mode on the (uniform-weight) quotient graphs.
+    backend:
+        Shortest-path kernel for weighted races, as in
+        :func:`repro.paths.engine.shortest_paths`.
 
     Expected size O(n^(1+1/k) log k); stretch O(k); O(m) work and
     O(k log* n log U) depth, with the O(log k) groups running in
@@ -197,7 +204,9 @@ def weighted_spanner(
     for grp in groups:
         child_tracker = tracker.fork()
         kept.append(
-            _well_separated_spanner(g, grp, bucket, k, rng, method, child_tracker)
+            _well_separated_spanner(
+                g, grp, bucket, k, rng, method, child_tracker, backend=backend
+            )
         )
         children.append(child_tracker)
     tracker.parallel_children(children)
