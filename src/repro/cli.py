@@ -114,7 +114,9 @@ def cmd_hopset(args) -> int:
     g = _load_graph(args)
     params = HopsetParams(epsilon=args.epsilon, delta=1.5, gamma1=0.15, gamma2=0.5)
     t = PramTracker(n=g.n)
-    hs = build_hopset(g, params, seed=args.seed, tracker=t, backend=args.backend)
+    hs = build_hopset(
+        g, params, seed=args.seed, tracker=t, backend=args.backend, strategy=args.strategy
+    )
     print(f"graph: n={g.n} m={g.m}")
     print(f"hopset: {hs.size} edges ({hs.star_count} star, {hs.clique_count} clique)")
     print(f"pram: work={t.work} depth={t.depth}")
@@ -234,6 +236,12 @@ def build_parser() -> argparse.ArgumentParser:
     _add_backend_arg(p)
     p.add_argument("--epsilon", type=float, default=0.5)
     p.add_argument("--query", type=int, nargs=2, metavar=("S", "T"))
+    p.add_argument(
+        "--strategy",
+        choices=["batched", "recursive"],
+        default="batched",
+        help="level-synchronous batched builder (default) or the recursive oracle",
+    )
     p.set_defaults(fn=cmd_hopset)
 
     p = sub.add_parser("cluster", help="run one EST clustering")

@@ -18,7 +18,7 @@ execution modes are provided:
 """
 
 from repro.clustering.shifts import sample_shifts, shift_upper_bound
-from repro.clustering.est import Clustering, est_cluster
+from repro.clustering.est import Clustering, est_cluster, est_cluster_forest
 from repro.clustering.ldd import LowDiameterDecomposition, low_diameter_decomposition
 from repro.clustering.diagnostics import (
     cluster_radii,
@@ -34,6 +34,7 @@ __all__ = [
     "shift_upper_bound",
     "Clustering",
     "est_cluster",
+    "est_cluster_forest",
     "LowDiameterDecomposition",
     "low_diameter_decomposition",
     "cluster_radii",

@@ -85,9 +85,40 @@ class Clustering:
         """Cluster sizes indexed by compact label."""
         return np.bincount(self.labels, minlength=self.num_clusters)
 
+    @cached_property
+    def member_order(self) -> np.ndarray:
+        """Vertex ids grouped by compact label (one argsort, cached).
+
+        Stable sort keeps ids ascending inside each cluster, so slicing
+        this array reproduces exactly what per-label ``flatnonzero``
+        scans used to return — at O(n log n) once instead of
+        O(n * num_clusters) across a loop over clusters.  Frozen
+        read-only: ``members()``/``members_list()`` hand out views of
+        it, and a caller mutating a view must fail loudly instead of
+        silently corrupting the shared index.
+        """
+        order = np.argsort(self.labels, kind="stable")
+        order.setflags(write=False)
+        return order
+
+    @cached_property
+    def member_slices(self) -> np.ndarray:
+        """``int64[num_clusters + 1]`` — cluster ``l`` occupies
+        ``member_order[member_slices[l]:member_slices[l + 1]]``."""
+        ptr = np.zeros(self.num_clusters + 1, dtype=np.int64)
+        np.cumsum(self.sizes, out=ptr[1:])
+        return ptr
+
     def members(self, label: int) -> np.ndarray:
         """Vertex ids in the cluster with compact label ``label``."""
-        return np.flatnonzero(self.labels == label)
+        s = self.member_slices
+        return self.member_order[s[label] : s[label + 1]]
+
+    def members_list(self) -> list:
+        """All clusters' member arrays, indexed by compact label."""
+        if self.num_clusters == 0:
+            return []  # np.split would fabricate one empty segment
+        return np.split(self.member_order, self.member_slices[1:-1])
 
     def forest_edges(self) -> Tuple[np.ndarray, np.ndarray]:
         """(child, parent) arrays of all forest edges."""
@@ -190,6 +221,177 @@ def est_cluster(
 
     return Clustering(
         center=owner,
+        parent=parent,
+        dist_to_center=dist_to_center,
+        shifts=shifts,
+        beta=float(beta),
+        rounds=rounds,
+    )
+
+
+def _forest_group_modes(
+    g: CSRGraph, group_of: np.ndarray, k: int, method: str
+) -> np.ndarray:
+    """Resolve each group's race engine: 0 = BFS, 1 = Dial, 2 = exact.
+
+    Mirrors the *hopset builder's* dispatch
+    (``repro.hopsets.unweighted._cluster_method`` followed by
+    :func:`est_cluster`'s round-mode split): under ``auto``,
+    unweighted blocks race by BFS, integer-weighted blocks by the
+    quantized Dial race, everything else exactly.  Note this is NOT
+    :func:`est_cluster`'s own ``auto`` (which keeps integer-weighted
+    graphs on the exact real-shift race) — the batched builder's
+    strategy-equivalence contract is with the recursive builder, which
+    quantizes integer blocks.  Evaluated per block of a block-diagonal
+    union from one vectorized pass over the edge list (a group is
+    *unweighted* when every edge weighs 1 and *integer* when every
+    weight round-trips through int64; edgeless groups count as
+    unweighted, matching ``CSRGraph.is_unweighted`` on an empty graph).
+    """
+    if method == "exact":
+        return np.full(k, 2, dtype=np.int64)
+    unw = np.ones(k, dtype=np.uint8)
+    isint = np.ones(k, dtype=np.uint8)
+    if g.m:
+        egrp = group_of[g.edge_u]
+        w = g.edge_w
+        np.minimum.at(unw, egrp, (w == 1.0).astype(np.uint8))
+        # int64 round-trip, the same overflow-safe integrality check
+        # every other dispatch site uses (inf / >=2**63 weights must
+        # fall through to the exact engine, not wrap in Dial mode)
+        with np.errstate(invalid="ignore"):
+            w_rt = w.astype(np.int64).astype(np.float64)
+        np.minimum.at(isint, egrp, (w_rt == w).astype(np.uint8))
+    modes = np.full(k, 2, dtype=np.int64)
+    modes[isint == 1] = 1
+    modes[unw == 1] = 0
+    if method == "round" and (modes == 2).any():
+        raise ParameterError(
+            "round method on weighted graphs requires integer weights; "
+            "use method='exact' or round the weights first"
+        )
+    return modes
+
+
+def est_cluster_forest(
+    g: CSRGraph,
+    beta: float,
+    group_ptr: np.ndarray,
+    shifts: np.ndarray,
+    method: str = "auto",
+    tracker: Optional[PramTracker] = None,
+    backend: Optional[str] = None,
+) -> Clustering:
+    """EST-cluster every block of a block-diagonal union in one race.
+
+    ``g`` is a :class:`~repro.graph.builders.SubgraphForest` graph:
+    group ``j`` occupies the contiguous vertex range
+    ``[group_ptr[j], group_ptr[j+1])`` and no edge crosses groups.
+    Because waves can never leave a block, racing all blocks together
+    is *equivalent* to clustering each block separately — but costs one
+    engine schedule instead of one per block.  This is the
+    level-synchronous hopset builder's per-level clustering call.
+
+    Equivalence with per-block :func:`est_cluster` — called the way the
+    hopset builder calls it, i.e. with the method pre-resolved by
+    ``_cluster_method`` (under ``auto``, integer-weighted blocks take
+    the quantized round race; see :func:`_forest_group_modes`) — is
+    exact, not just distributional: the start times
+    ``delta_max - shift`` are computed with each group's *own*
+    ``delta_max`` (quantized starts in round mode depend nonlinearly on
+    it), every vertex races with the same priority/rank order it would
+    have locally (blocks preserve relative vertex order), and groups
+    resolving to different engines (BFS race for unweighted blocks,
+    Dial for integer weights, bucket engine otherwise) get one race per
+    engine over the same union, sourced only at their own blocks.
+    Seeded equality tests pin this.
+
+    ``shifts`` must be pre-drawn (length ``n``) — the caller owns the
+    per-group RNG discipline.
+    """
+    if beta <= 0 or not np.isfinite(beta):
+        raise ParameterError(f"beta must be a positive float, got {beta}")
+    if method not in ("auto", "exact", "round"):
+        raise ParameterError(f"unknown method {method!r}")
+    tracker = tracker or null_tracker()
+    n = g.n
+    group_ptr = np.asarray(group_ptr, dtype=np.int64)
+    k = int(group_ptr.shape[0] - 1)
+    shifts = np.asarray(shifts, dtype=np.float64)
+    if shifts.shape[0] != n:
+        raise ParameterError("shifts must have length n")
+    if n == 0:
+        return Clustering(
+            center=np.empty(0, np.int64),
+            parent=np.empty(0, np.int64),
+            dist_to_center=np.empty(0, np.float64),
+            shifts=shifts,
+            beta=float(beta),
+            rounds=0,
+        )
+
+    gsizes = np.diff(group_ptr)
+    if (gsizes <= 0).any() or int(group_ptr[-1]) != n:
+        raise ParameterError("group_ptr must partition [0, n) into non-empty ranges")
+    group_of = np.repeat(np.arange(k, dtype=np.int64), gsizes)
+    delta_max = np.maximum.reduceat(shifts, group_ptr[:-1])
+    start_real = delta_max[group_of] - shifts  # >= 0, per-group origin
+    start_int = np.floor(start_real).astype(np.int64)
+
+    modes = _forest_group_modes(g, group_of, k, method)
+    center = np.full(n, -1, dtype=np.int64)
+    parent = np.full(n, -1, dtype=np.int64)
+    dist_to_center = np.zeros(n, dtype=np.float64)
+    rounds = 0
+
+    mode_of_vertex = modes[group_of]
+    for mode in (0, 1, 2):
+        verts = np.flatnonzero(mode_of_vertex == mode)
+        if verts.shape[0] == 0:
+            continue
+        if mode == 0:
+            with tracker.phase("est_round"):
+                arrival, dist_hops, par, own = bfs_with_start_times(
+                    g,
+                    start_time=start_int[verts],
+                    source_ids=verts,
+                    priority=start_real[verts],
+                    tracker=tracker,
+                )
+            center[verts] = own[verts]
+            parent[verts] = par[verts]
+            dist_to_center[verts] = dist_hops[verts].astype(np.float64)
+            if verts.shape[0]:
+                rounds = max(rounds, int(arrival[verts].max()) + 1)
+        elif mode == 1:
+            w_int = g.weights.astype(np.int64)
+            with tracker.phase("est_round"):
+                res = shortest_paths(
+                    g,
+                    verts,
+                    offsets=start_int[verts],
+                    weights=w_int,
+                    delta=1,
+                    tracker=tracker,
+                    backend=backend,
+                )
+            center[verts] = res.owner[verts]
+            parent[verts] = res.parent[verts]
+            dist_to_center[verts] = (
+                res.dist[verts] - start_int[res.owner[verts]]
+            ).astype(np.float64)
+            rounds = max(rounds, res.buckets)
+        else:
+            with tracker.phase("est_exact"):
+                res = shortest_paths(
+                    g, verts, offsets=start_real[verts], tracker=tracker, backend=backend
+                )
+            center[verts] = res.owner[verts]
+            parent[verts] = res.parent[verts]
+            dist_to_center[verts] = res.dist[verts] - start_real[res.owner[verts]]
+
+    return Clustering(
+        center=center,
         parent=parent,
         dist_to_center=dist_to_center,
         shifts=shifts,

@@ -46,7 +46,7 @@ class LowDiameterDecomposition:
         return int(self.clustering.labels[v])
 
     def pieces(self) -> List[np.ndarray]:
-        return [self.clustering.members(i) for i in range(self.num_pieces)]
+        return self.clustering.members_list()
 
     def validate(self) -> None:
         """Re-check the certificate: every cluster tree radius within the

@@ -9,10 +9,12 @@ edge-id tracking (needed by the spanner algorithms, which must report
 
 from repro.graph.csr import CSRGraph
 from repro.graph.builders import (
+    SubgraphForest,
     from_edges,
     from_networkx,
     to_networkx,
     induced_subgraph,
+    induced_subgraph_forest,
     relabel_compact,
 )
 from repro.graph.unionfind import UnionFind
@@ -47,6 +49,8 @@ __all__ = [
     "from_networkx",
     "to_networkx",
     "induced_subgraph",
+    "induced_subgraph_forest",
+    "SubgraphForest",
     "relabel_compact",
     "UnionFind",
     "quotient_graph",

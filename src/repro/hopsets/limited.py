@@ -75,13 +75,17 @@ def build_limited_hopset(
     zeta: float = 0.5,
     seed: SeedLike = None,
     tracker: Optional[PramTracker] = None,
+    strategy: str = "batched",
 ) -> LimitedHopset:
     """Run the Theorem C.2 iteration on ``g``.
 
     ``alpha`` is the target depth exponent; ``eta = alpha / 2``; the
     outer loop runs ``ceil(1 / eta)`` rounds, each covering all distance
     scales ``d = (n^eta)^i``.  Practical sizes only (every round builds
-    O(1/eta) hopsets); the benchmarks sweep small graphs.
+    O(1/eta) hopsets); the benchmarks sweep small graphs.  Every inner
+    Algorithm 4 build runs with the given ``strategy`` (the
+    level-synchronous ``"batched"`` path by default; both strategies
+    yield identical shortcut sets per seed).
     """
     if not (0 < alpha < 1):
         raise ParameterError("alpha must lie in (0, 1)")
@@ -142,6 +146,7 @@ def build_limited_hopset(
                 seed=child_rngs[i],
                 method="exact",
                 tracker=child_tracker,
+                strategy=strategy,
             )
             if hs.size:
                 new_eu.append(hs.eu)

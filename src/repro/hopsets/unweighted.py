@@ -1,4 +1,4 @@
-"""Algorithm 4: recursive hopset construction.
+"""Algorithm 4: hopset construction (level-synchronous and recursive).
 
 Structure (Section 4):
 
@@ -11,9 +11,31 @@ Structure (Section 4):
    the clustering tree distance — a concrete path, as Definition 2.4
    requires) and connect all large-cluster centers into a clique
    weighted by their true distances in the current subgraph (computed
-   by one parallel BFS per center, exactly the paper's Line 9).
+   from one search per center, exactly the paper's Line 9).
 4. Recurse on the small clusters with ``beta_{i+1} = growth * beta_i``
    until pieces have at most ``n_final`` vertices.
+
+The paper states this as a *parallel* recursion: every subproblem at
+one level is independent.  The default ``strategy="batched"`` executes
+it that way — **level-synchronously**: all active subproblems are
+packed into one block-diagonal CSR union
+(:func:`repro.graph.builders.induced_subgraph_forest`), a *single* EST
+race clusters every subproblem at once
+(:func:`repro.clustering.est.est_cluster_forest` — waves cannot cross
+blocks), all Line-9 center searches of the level are resolved by one
+batched multi-run engine call
+(:func:`repro.paths.engine.shortest_paths_batch`, with centers of
+different subproblems sharing a run because their blocks are mutually
+unreachable), and star/clique edges fall out of vectorized passes over
+the level's label arrays.  The PRAM ledger's per-level max-depth
+semantics then come from the shared schedules themselves instead of
+``parallel_children`` bookkeeping.
+
+``strategy="recursive"`` keeps the original depth-first execution —
+one ``est_cluster`` per cluster, one search per center — as the
+oracle: both strategies draw per-subproblem randomness from the same
+spawned streams and emit *identical* hopset edge sets for a fixed
+seed (pinned by tests and the ``BENCH_hopset.json`` benchmark).
 
 The recursion works on induced subgraphs with an explicit map back to
 original vertex ids; all sub-calls at one level are independent, so
@@ -26,17 +48,24 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.clustering.est import est_cluster
+from repro.clustering.est import Clustering, est_cluster, est_cluster_forest
+from repro.clustering.shifts import sample_shifts
 from repro.errors import ParameterError
-from repro.graph.builders import induced_subgraph
+from repro.graph.builders import induced_subgraph, induced_subgraph_forest
 from repro.graph.csr import CSRGraph
 from repro.hopsets.params import HopsetParams
 from repro.hopsets.result import HopsetResult, LevelStats
 from repro.paths.bfs import bfs
-from repro.paths.engine import shortest_paths
+from repro.paths.engine import shortest_paths, shortest_paths_batch
 from repro.paths.weighted_bfs import dial_sssp
 from repro.pram.tracker import PramTracker, null_tracker
-from repro.rng import SeedLike, resolve_rng, spawn
+from repro.rng import SeedLike, resolve_rng, spawn_seeds
+
+# cap on rows x columns of one batched center-search distance matrix;
+# levels with more large clusters than fit are resolved in a few
+# chunked batch calls instead of one (still level-synchronous in
+# spirit, and bounded at ~8e6 * 8 bytes per internal array)
+_BATCH_CELLS = 8_000_000
 
 
 class _Collector:
@@ -179,7 +208,7 @@ def _recurse(
     if is_first:
         # top level: just split; recurse on every cluster
         children: List[PramTracker] = []
-        child_rngs = spawn(rng, num_clusters)
+        child_seeds = spawn_seeds(rng, num_clusters)
         for lab in range(num_clusters):
             members = clustering.members(lab)
             if members.shape[0] <= n_final:
@@ -193,7 +222,7 @@ def _recurse(
                 False,
                 params,
                 n_top,
-                child_rngs[lab],
+                np.random.default_rng(int(child_seeds[lab])),
                 method,
                 child_tracker,
                 out,
@@ -212,11 +241,9 @@ def _recurse(
 
     # one search per large-cluster center over the current subgraph —
     # used for clique weights always, and for star weights in "exact"
-    # mode (reusing the same searches at no extra cost)
-    center_ids = np.array(
-        [clustering.center[clustering.members(int(l))[0]] for l in large],
-        dtype=np.int64,
-    )
+    # mode (reusing the same searches at no extra cost); compact label
+    # l's center *is* centers[l] (labels come from the sorted uniques)
+    center_ids = clustering.centers[large]
     need_center_dists = large.shape[0] >= 2 or (
         star_weights == "exact" and large.shape[0] >= 1
     )
@@ -250,20 +277,18 @@ def _recurse(
 
     # ---- clique edges between large-cluster centers --------------------
     if large.shape[0] >= 2:
-        qu, qv, qw = [], [], []
-        for i in range(len(center_ids)):
-            for j in range(i + 1, len(center_ids)):
-                d = dists[i][center_ids[j]]
-                if np.isfinite(d):
-                    qu.append(vmap[center_ids[i]])
-                    qv.append(vmap[center_ids[j]])
-                    qw.append(float(d))
-        out.add_edges(qu, qv, qw, kind_code=1)
-        out.bump(level, clique_edges=len(qu))
+        dmat = np.stack(dists)[:, center_ids]  # (k, k) center-to-center
+        iu, ju = np.triu_indices(center_ids.shape[0], k=1)
+        dv = dmat[iu, ju]
+        fin = np.isfinite(dv)
+        out.add_edges(
+            vmap[center_ids[iu[fin]]], vmap[center_ids[ju[fin]]], dv[fin], kind_code=1
+        )
+        out.bump(level, clique_edges=int(fin.sum()))
 
     # ---- recurse on small clusters -------------------------------------
     children = []
-    child_rngs = spawn(rng, max(int(small.shape[0]), 1))
+    child_seeds = spawn_seeds(rng, max(int(small.shape[0]), 1))
     for idx, lab in enumerate(small):
         members = clustering.members(int(lab))
         if members.shape[0] <= n_final:
@@ -277,7 +302,7 @@ def _recurse(
             False,
             params,
             n_top,
-            child_rngs[idx],
+            np.random.default_rng(int(child_seeds[idx])),
             method,
             child_tracker,
             out,
@@ -288,6 +313,245 @@ def _recurse(
     tracker.parallel_children(children)
 
 
+def _dist_matrix_to_float(D: np.ndarray) -> np.ndarray:
+    """Dial/int batch distances -> float64 with ``inf`` for unreached."""
+    if D.dtype.kind == "f":
+        return D
+    out = D.astype(np.float64)
+    out[D == np.iinfo(np.int64).max] = np.inf
+    return out
+
+
+def _pairs_within_segments(counts: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """All ``i < j`` index pairs inside each segment of a flat array.
+
+    ``counts[s]`` is the length of segment ``s``; returned indices are
+    global positions, emitted in (segment, i, j) row-major order — the
+    same order the recursive builder's per-subproblem double loop used.
+    Fully vectorized (repeat/cumsum), no Python loop over segments.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, np.int64), np.empty(0, np.int64)
+    starts = np.zeros(counts.shape[0], dtype=np.int64)
+    np.cumsum(counts[:-1], out=starts[1:])
+    local = np.arange(total, dtype=np.int64) - np.repeat(starts, counts)
+    partners = np.repeat(counts, counts) - 1 - local  # pairs led by each element
+    pair_total = int(partners.sum())
+    if pair_total == 0:
+        return np.empty(0, np.int64), np.empty(0, np.int64)
+    i_idx = np.repeat(np.arange(total, dtype=np.int64), partners)
+    block = np.zeros(total, dtype=np.int64)
+    np.cumsum(partners[:-1], out=block[1:])
+    j_idx = i_idx + 1 + np.arange(pair_total, dtype=np.int64) - np.repeat(block, partners)
+    return i_idx, j_idx
+
+
+def _emit_level_edges(
+    level: int,
+    union: CSRGraph,
+    vmap: np.ndarray,
+    clustering: Clustering,
+    large_mask: np.ndarray,
+    lab_group: np.ndarray,
+    k: int,
+    star_weights: str,
+    backend: Optional[str],
+    tracker: PramTracker,
+    out: _Collector,
+) -> None:
+    """Star and clique edges for one level, as vectorized label passes.
+
+    Every Line-9 center search of the level runs inside a handful of
+    :func:`shortest_paths_batch` calls: centers get a *slot* (their
+    rank among their subproblem's large clusters) and all centers
+    sharing a slot form one batch run — they live in different blocks
+    of the union, so one multi-source search resolves them all without
+    interference.  The dense ``(slots, n)`` distance matrix then feeds
+    both the exact-mode star weights and the clique weights by pure
+    fancy indexing.
+    """
+    labels = clustering.labels
+    centers = clustering.centers
+    nclus = clustering.num_clusters
+
+    large_per_group = np.bincount(lab_group[large_mask], minlength=k)
+    need = large_per_group >= 2
+    if star_weights == "exact":
+        need |= large_per_group >= 1
+    run_lab = np.flatnonzero(large_mask & need[lab_group])
+
+    D: Optional[np.ndarray] = None
+    slot_of_lab = np.full(nclus, -1, dtype=np.int64)
+    run_counts = np.zeros(k, dtype=np.int64)
+    if run_lab.size:
+        rgrp = lab_group[run_lab]
+        run_counts = np.bincount(rgrp, minlength=k)
+        starts = np.zeros(k, dtype=np.int64)
+        np.cumsum(run_counts[:-1], out=starts[1:])
+        slot = np.arange(run_lab.shape[0], dtype=np.int64) - starts[rgrp]
+        slot_of_lab[run_lab] = slot
+        nslots = int(slot.max()) + 1
+        # group centers by slot (stable: keeps subproblem order per run)
+        by_slot = np.argsort(slot, kind="stable")
+        slot_counts = np.bincount(slot, minlength=nslots)
+        runs = np.split(
+            centers[run_lab[by_slot]], np.cumsum(slot_counts)[:-1]
+        )
+        w_int = union.weights.astype(np.int64)
+        use_int = bool(np.array_equal(w_int.astype(np.float64), union.weights))
+        rows = max(1, _BATCH_CELLS // max(union.n, 1))
+        mats = []
+        for s0 in range(0, nslots, rows):
+            res = shortest_paths_batch(
+                union,
+                runs[s0 : s0 + rows],
+                weights=w_int if use_int else None,
+                tracker=tracker,
+                backend=backend,
+            )
+            mats.append(_dist_matrix_to_float(res.dist))
+        D = mats[0] if len(mats) == 1 else np.vstack(mats)
+
+    # ---- star edges: large-cluster members -> their center ------------
+    v_all = np.arange(union.n, dtype=np.int64)
+    cen_v = centers[labels]
+    sel = large_mask[labels] & (v_all != cen_v)
+    vs = v_all[sel]
+    if vs.size:
+        if star_weights == "exact":
+            sw = D[slot_of_lab[labels[vs]], vs]
+        else:
+            sw = clustering.dist_to_center[vs]
+        fin = np.isfinite(sw)
+        out.add_edges(vmap[vs[fin]], vmap[cen_v[vs][fin]], sw[fin], kind_code=0)
+        out.bump(level, star_edges=int(fin.sum()))
+
+    # ---- clique edges among each subproblem's large centers -----------
+    if run_lab.size:
+        i_idx, j_idx = _pairs_within_segments(run_counts)
+        if i_idx.size:
+            ci = centers[run_lab[i_idx]]
+            cj = centers[run_lab[j_idx]]
+            d = D[slot_of_lab[run_lab[i_idx]], cj]
+            fin = np.isfinite(d)
+            out.add_edges(vmap[ci[fin]], vmap[cj[fin]], d[fin], kind_code=1)
+            out.bump(level, clique_edges=int(fin.sum()))
+
+
+def _build_level_sync(
+    g: CSRGraph,
+    params: HopsetParams,
+    n_top: int,
+    rng: np.random.Generator,
+    method: str,
+    tracker: PramTracker,
+    out: _Collector,
+    star_weights: str = "tree",
+    backend: Optional[str] = None,
+) -> None:
+    """Level-synchronous execution of Algorithm 4 (the batched strategy).
+
+    State per level: a block-diagonal union of every active subproblem
+    (vertices of subproblem ``j`` are the contiguous block
+    ``[ptr[j], ptr[j+1])``), the map ``vmap`` back to original ids, and
+    one RNG per subproblem.  Each iteration runs one forest EST race,
+    one (chunked) batch of center searches, two vectorized edge
+    passes, and one forest rebuild for the next level.
+
+    Randomness discipline matches the recursive oracle stream-for-
+    stream: subproblem ``j`` draws its shifts from its own generator,
+    then spawns one child generator per cluster (level 0) or per small
+    cluster (deeper) and hands them to the surviving children in label
+    order — so both strategies emit identical edge sets per seed.
+    """
+    n_final = params.n_final(n_top)
+    rho = params.rho(n_top)
+    if g.n <= n_final:
+        return
+
+    union = g
+    vmap = np.arange(g.n, dtype=np.int64)
+    ptr = np.asarray([0, g.n], dtype=np.int64)
+    rngs: List[np.random.Generator] = [rng]
+    level = 0
+    while rngs and level < params.max_levels:
+        k = len(rngs)
+        gsizes = np.diff(ptr)
+        beta = params.beta_at(level, n_top)
+
+        # ---- one EST race over every subproblem of the level ----------
+        shifts = np.concatenate(
+            [sample_shifts(int(sz), beta, r) for sz, r in zip(gsizes, rngs)]
+        )
+        clustering = est_cluster_forest(
+            union, beta, ptr, shifts, method=method, tracker=tracker, backend=backend
+        )
+        sizes = clustering.sizes
+        centers = clustering.centers
+        nclus = clustering.num_clusters
+        group_of = np.repeat(np.arange(k, dtype=np.int64), gsizes)
+        lab_group = group_of[centers]  # owning subproblem per cluster
+        lab_per_group = np.bincount(lab_group, minlength=k)
+        lab_start = np.zeros(k, dtype=np.int64)
+        np.cumsum(lab_per_group[:-1], out=lab_start[1:])
+        out.bump(
+            level,
+            subproblems=k,
+            vertices=int(union.n),
+            clusters=int(nclus),
+            beta=beta,
+        )
+
+        if level == 0:
+            # top level only splits: every cluster becomes a subproblem
+            recurse_mask = np.ones(nclus, dtype=bool)
+            local_idx = np.arange(nclus, dtype=np.int64) - lab_start[lab_group]
+            spawn_counts = lab_per_group
+        else:
+            large_mask = sizes >= (gsizes.astype(np.float64) / rho)[lab_group]
+            out.bump(level, large_clusters=int(large_mask.sum()))
+            _emit_level_edges(
+                level,
+                union,
+                vmap,
+                clustering,
+                large_mask,
+                lab_group,
+                k,
+                star_weights,
+                backend,
+                tracker,
+                out,
+            )
+            recurse_mask = ~large_mask
+            # index of each small cluster among its subproblem's smalls
+            csum = np.cumsum(recurse_mask.astype(np.int64))
+            padded = np.concatenate(([0], csum))
+            local_idx = csum - 1 - padded[lab_start][lab_group]
+            spawn_counts = np.maximum(
+                np.bincount(lab_group[recurse_mask], minlength=k), 1
+            )
+
+        child_labels = np.flatnonzero(recurse_mask & (sizes > n_final))
+        if child_labels.size == 0:
+            break
+        seeds = [spawn_seeds(rngs[j], int(spawn_counts[j])) for j in range(k)]
+        new_rngs = [
+            np.random.default_rng(int(seeds[lab_group[lab]][local_idx[lab]]))
+            for lab in child_labels
+        ]
+        child_groups = [clustering.members(int(lab)) for lab in child_labels]
+
+        forest = induced_subgraph_forest(union, child_groups)
+        vmap = vmap[forest.vmap]
+        union = forest.graph
+        ptr = forest.ptr
+        rngs = new_rngs
+        level += 1
+
+
 def build_hopset(
     g: CSRGraph,
     params: Optional[HopsetParams] = None,
@@ -296,6 +560,7 @@ def build_hopset(
     star_weights: str = "tree",
     tracker: Optional[PramTracker] = None,
     backend: Optional[str] = None,
+    strategy: str = "batched",
 ) -> HopsetResult:
     """Run Algorithm 4 on ``g`` and return the hopset.
 
@@ -317,6 +582,13 @@ def build_hopset(
     backend:
         Shortest-path kernel for every weighted search inside the
         build, as in :func:`repro.paths.engine.shortest_paths`.
+    strategy:
+        ``"batched"`` (default) executes the recursion level-
+        synchronously: one EST race and one batched center-search pass
+        per level over a block-diagonal union of all subproblems.
+        ``"recursive"`` is the original depth-first oracle.  Both
+        produce identical edge sets for a fixed seed; ``batched`` is
+        the fast path (see ``BENCH_hopset.json``).
 
     Works on unweighted and (positive-) weighted graphs alike; the
     Section 5 pipeline calls this on rounded integer graphs.
@@ -324,24 +596,39 @@ def build_hopset(
     params = params or HopsetParams()
     if star_weights not in ("tree", "exact"):
         raise ParameterError("star_weights must be 'tree' or 'exact'")
+    if strategy not in ("batched", "recursive"):
+        raise ParameterError("strategy must be 'batched' or 'recursive'")
     tracker = tracker or null_tracker()
     rng = resolve_rng(seed)
     out = _Collector()
     with tracker.phase("hopset"):
-        _recurse(
-            g,
-            np.arange(g.n, dtype=np.int64),
-            0,
-            True,
-            params,
-            g.n,
-            rng,
-            method,
-            tracker,
-            out,
-            star_weights=star_weights,
-            backend=backend,
-        )
+        if strategy == "batched":
+            _build_level_sync(
+                g,
+                params,
+                g.n,
+                rng,
+                method,
+                tracker,
+                out,
+                star_weights=star_weights,
+                backend=backend,
+            )
+        else:
+            _recurse(
+                g,
+                np.arange(g.n, dtype=np.int64),
+                0,
+                True,
+                params,
+                g.n,
+                rng,
+                method,
+                tracker,
+                out,
+                star_weights=star_weights,
+                backend=backend,
+            )
     meta = {
         "epsilon": params.epsilon,
         "delta": params.delta,

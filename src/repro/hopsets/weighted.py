@@ -159,6 +159,7 @@ def build_weighted_hopset(
     method: str = "exact",
     tracker: Optional[PramTracker] = None,
     backend: Optional[str] = None,
+    strategy: str = "batched",
 ) -> WeightedHopset:
     """Build per-scale hopsets for a positively weighted graph.
 
@@ -176,6 +177,10 @@ def build_weighted_hopset(
     backend:
         Shortest-path kernel for the per-scale builds, as in
         :func:`repro.paths.engine.shortest_paths`.
+    strategy:
+        Execution strategy for every inner Algorithm 4 build —
+        ``"batched"`` (level-synchronous, default) or ``"recursive"``
+        (the depth-first oracle); identical results per seed.
     """
     if not (0 < eta < 1):
         raise ParameterError("eta must lie in (0, 1)")
@@ -207,6 +212,7 @@ def build_weighted_hopset(
             method=method,
             tracker=child_tracker,
             backend=backend,
+            strategy=strategy,
         )
         scales.append(
             ScaleHopset(d=float(d), c=c, rounded=rounded, hopset=hs, kept_edges=int(keep.sum()))

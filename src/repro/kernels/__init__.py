@@ -27,8 +27,12 @@ import warnings
 from typing import List
 
 from repro.errors import ParameterError
-from repro.kernels.numpy_kernel import bucket_sssp, expand_frontier
-from repro.kernels.numba_kernel import HAVE_NUMBA, bucket_sssp_numba
+from repro.kernels.numpy_kernel import bucket_sssp, bucket_sssp_batch, expand_frontier
+from repro.kernels.numba_kernel import (
+    HAVE_NUMBA,
+    bucket_sssp_batch_numba,
+    bucket_sssp_numba,
+)
 
 BACKENDS = ("numpy", "numba", "reference")
 
@@ -69,6 +73,8 @@ __all__ = [
     "available_backends",
     "resolve_backend",
     "bucket_sssp",
+    "bucket_sssp_batch",
+    "bucket_sssp_batch_numba",
     "bucket_sssp_numba",
     "expand_frontier",
 ]

@@ -225,3 +225,57 @@ def bucket_sssp_numba(
     bucket_work = [int(arcs)] + [0] * max(buckets - 1, 0) if buckets else []
     bucket_rounds = [1] * buckets
     return dist, parent, owner, settled, bucket_work, bucket_rounds
+
+
+def bucket_sssp_batch_numba(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    weights: np.ndarray,
+    n: int,
+    run_src: np.ndarray,
+    run_ptr: np.ndarray,
+    offsets: np.ndarray,
+    ranks: np.ndarray,
+    delta,
+    max_dist=None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, List[int], List[int]]:
+    """Batch counterpart of :func:`repro.kernels.numpy_kernel.bucket_sssp_batch`.
+
+    The compiled heap core is inherently sequential per search, so the
+    batch executes run after run (each run a compiled pass — no
+    interpreter-per-edge cost) instead of sharing rounds.  Results are
+    identical; the ledger reports total arcs as work and, as depth, one
+    round per bucket of the *longest* run — the parallel composition a
+    PRAM would see, matching the engine's batch accounting.
+    """
+    if not HAVE_NUMBA:
+        raise RuntimeError("numba backend requested but numba is not installed")
+    from repro.kernels.numpy_kernel import count_occupied_buckets
+
+    run_src = np.asarray(run_src, dtype=np.int64)
+    run_ptr = np.asarray(run_ptr, dtype=np.int64)
+    offsets = np.asarray(offsets, dtype=np.float64)
+    ranks = np.asarray(ranks, dtype=np.int64)
+    indptr = np.asarray(indptr, dtype=np.int64)
+    indices = np.asarray(indices, dtype=np.int64)
+    w = np.asarray(weights, dtype=np.float64)
+    k = run_ptr.shape[0] - 1
+    dist = np.empty(k * n, dtype=np.float64)
+    parent = np.empty(k * n, dtype=np.int64)
+    owner = np.empty(k * n, dtype=np.int64)
+    settled = np.empty(k * n, dtype=bool)
+    total_arcs = 0
+    max_buckets = 0
+    md = -1.0 if max_dist is None else float(max_dist)
+    for r in range(k):
+        lo, hi = int(run_ptr[r]), int(run_ptr[r + 1])
+        d, p, o, s, arcs = _heap_sssp_core(
+            indptr, indices, w, n, run_src[lo:hi], offsets[lo:hi], ranks[lo:hi], md
+        )
+        sl = slice(r * n, (r + 1) * n)
+        dist[sl], parent[sl], owner[sl], settled[sl] = d, p, o, s
+        total_arcs += int(arcs)
+        max_buckets = max(max_buckets, count_occupied_buckets(d, s, delta))
+    bucket_work = [total_arcs] + [0] * max(max_buckets - 1, 0) if max_buckets else []
+    bucket_rounds = [1] * max_buckets
+    return dist, parent, owner, settled, bucket_work, bucket_rounds

@@ -96,6 +96,50 @@ def bucket_sssp(
     bucket_rounds)``: ``bucket_work[i]`` is the PRAM work (frontier
     arcs, floored at frontier size) spent on the i-th processed bucket
     and ``bucket_rounds[i]`` its relaxation-round count.
+
+    Implemented as the ``k = 1`` case of :func:`bucket_sssp_batch` (one
+    shared relaxation loop; the batch kernel skips all composite-id
+    arithmetic for a single run, so this costs nothing extra).
+    """
+    sources = np.asarray(sources, dtype=np.int64)
+    run_ptr = np.asarray([0, sources.shape[0]], dtype=np.int64)
+    return bucket_sssp_batch(
+        indptr, indices, weights, n, sources, run_ptr, offsets, ranks, delta, max_dist
+    )
+
+
+def bucket_sssp_batch(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    weights: np.ndarray,
+    n: int,
+    run_src: np.ndarray,
+    run_ptr: np.ndarray,
+    offsets: np.ndarray,
+    ranks: np.ndarray,
+    delta,
+    max_dist=None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, List[int], List[int]]:
+    """Source-tagged batch of ``k`` independent bucket-SSSP runs.
+
+    Run ``r`` is the multi-source search seeded by
+    ``run_src[run_ptr[r]:run_ptr[r+1]]`` with start offsets and
+    tie-break ranks from the matching slices of ``offsets``/``ranks``.
+    The state space is the composite id ``r * n + v`` — conceptually
+    ``k`` disjoint copies of the graph — but the adjacency is read from
+    the *single* shared CSR, so every relaxation round is one batched
+    gather/scatter over the frontier arcs of **all** runs at once.
+    That sharing is the whole point: ``k`` searches progress per
+    interpreter round instead of one.  Composites of different runs
+    never claim the same state, so runs cannot interact, and each run's
+    labels equal a standalone :func:`bucket_sssp` call's.
+
+    Returns flat length-``k*n`` arrays ``(dist, parent, owner, settled,
+    bucket_work, bucket_rounds)``; ``parent``/``owner`` hold *vertex*
+    ids (not composites) and the caller reshapes to ``(k, n)``.
+    ``bucket_work[i]`` is the PRAM work (frontier arcs, floored at
+    frontier size) of the i-th processed bucket and ``bucket_rounds[i]``
+    its relaxation-round count.
     """
     int_mode = (
         np.issubdtype(np.asarray(weights).dtype, np.integer)
@@ -107,33 +151,53 @@ def bucket_sssp(
         dtype, inf = np.float64, np.inf
     weights = np.asarray(weights).astype(dtype, copy=False)
     offsets = np.asarray(offsets).astype(dtype, copy=False)
+    run_src = np.asarray(run_src, dtype=np.int64)
+    run_ptr = np.asarray(run_ptr, dtype=np.int64)
+    ranks = np.asarray(ranks, dtype=np.int64)
+    k = run_ptr.shape[0] - 1
+    single = k == 1  # composite id == vertex id: skip tag arithmetic
+    nn = k * n
 
-    dist = np.full(n, inf, dtype=dtype)
-    parent = np.full(n, -1, dtype=np.int64)
-    owner = np.full(n, -1, dtype=np.int64)
-    rank = np.full(n, np.iinfo(np.int64).max, dtype=np.int64)
-    settled = np.zeros(n, dtype=bool)
+    dist = np.full(nn, inf, dtype=dtype)
+    parent = np.full(nn, -1, dtype=np.int64)
+    owner = np.full(nn, -1, dtype=np.int64)
+    rank = np.full(nn, np.iinfo(np.int64).max, dtype=np.int64)
+    settled = np.zeros(nn, dtype=bool)
     bucket_work: List[int] = []
     bucket_rounds: List[int] = []
+    # uniform-weight fast path (the unweighted/Dial hot case): candidate
+    # distances become one scalar add instead of a per-arc gather
+    w_const = None
+    if weights.shape[0] and (weights == weights[0]).all():
+        w_const = weights[0]
 
     pending: List[np.ndarray] = []
-    if sources.shape[0]:
-        # best (offset, rank) per distinct source vertex seeds the race
-        sel = np.lexsort((ranks, offsets, sources))
-        vs, off_s, rk_s = sources[sel], offsets[sel], ranks[sel]
-        first = np.empty(vs.shape[0], dtype=bool)
+    if run_src.shape[0]:
+        if single:
+            comp = run_src
+        else:
+            run_of = np.repeat(np.arange(k, dtype=np.int64), np.diff(run_ptr))
+            comp = run_of * n + run_src
+        # best (offset, rank) per distinct composite seeds that run
+        sel = np.lexsort((ranks, offsets, comp))
+        cs, off_s, rk_s = comp[sel], offsets[sel], ranks[sel]
+        first = np.empty(cs.shape[0], dtype=bool)
         first[0] = True
-        np.not_equal(vs[1:], vs[:-1], out=first[1:])
-        vs, off_s, rk_s = vs[first], off_s[first], rk_s[first]
-        dist[vs] = off_s
-        owner[vs] = vs
-        rank[vs] = rk_s
-        pending.append(vs)
+        np.not_equal(cs[1:], cs[:-1], out=first[1:])
+        cs, off_s, rk_s = cs[first], off_s[first], rk_s[first]
+        dist[cs] = off_s
+        owner[cs] = cs if single else cs % n
+        rank[cs] = rk_s
+        pending.append(cs)
 
     while pending:
-        pool = pending[0] if len(pending) == 1 else np.concatenate(pending)
+        if len(pending) == 1:
+            # single pending array: already duplicate-free (winner
+            # masks and seed dedup guarantee it), skip the hash pass
+            pool = pending[0]
+        else:
+            pool = np.unique(np.concatenate(pending))
         pending = []
-        pool = np.unique(pool)
         pool = pool[~settled[pool]]
         if pool.shape[0] == 0:
             continue
@@ -158,19 +222,33 @@ def bucket_sssp(
         while frontier.shape[0]:
             rounds += 1
             settled[frontier] = True
-            arc_idx, arc_src = expand_frontier(indptr, frontier)
-            work += max(int(arc_idx.shape[0]), int(frontier.shape[0]))
-            if arc_idx.shape[0] == 0:
+            vv = frontier if single else frontier % n
+            starts = indptr[vv]
+            counts = indptr[vv + 1] - starts
+            total = int(counts.sum())
+            work += max(total, int(frontier.shape[0]))
+            if total == 0:
                 break
-            nbr = indices[arc_idx]
-            cand = dist[arc_src] + weights[arc_idx]
+            arc_off = np.repeat(np.cumsum(counts) - counts, counts)
+            arc_idx = (
+                np.arange(total, dtype=np.int64) - arc_off + np.repeat(starts, counts)
+            )
+            arc_src = np.repeat(frontier, counts)
+            if single:
+                nbr = indices[arc_idx]
+            else:
+                nbr = np.repeat(frontier - vv, counts) + indices[arc_idx]
+            if w_const is not None:
+                cand = dist[arc_src] + w_const
+            else:
+                cand = dist[arc_src] + weights[arc_idx]
             improving = cand < dist[nbr]
             if not improving.any():
                 break
             nbr = nbr[improving]
             src = arc_src[improving]
             cand = cand[improving]
-            # one winner per claimed vertex: min (cand, rank, src)
+            # one winner per claimed state: min (cand, rank, src)
             sel = np.lexsort((src, rank[src], cand, nbr))
             nbr_s, src_s, cand_s = nbr[sel], src[sel], cand[sel]
             first = np.empty(nbr_s.shape[0], dtype=bool)
@@ -180,7 +258,7 @@ def bucket_sssp(
             win_p = src_s[first]
             win_d = cand_s[first]
             dist[win_v] = win_d
-            parent[win_v] = win_p
+            parent[win_v] = win_p if single else win_p % n
             owner[win_v] = owner[win_p]
             rank[win_v] = rank[win_p]
             stay = win_d < hi  # improved into this bucket: re-relax now

@@ -19,10 +19,12 @@ These are the substrates the paper's constructions consume:
 
 from repro.paths.bfs import bfs, multi_source_bfs, bfs_with_start_times
 from repro.paths.engine import (
+    BatchShortestPathResult,
     ShortestPathResult,
     get_default_backend,
     set_default_backend,
     shortest_paths,
+    shortest_paths_batch,
     sssp,
 )
 from repro.paths.weighted_bfs import dial_sssp, weighted_bfs_with_start_times
@@ -45,8 +47,10 @@ __all__ = [
     "bfs",
     "multi_source_bfs",
     "bfs_with_start_times",
+    "BatchShortestPathResult",
     "ShortestPathResult",
     "shortest_paths",
+    "shortest_paths_batch",
     "sssp",
     "get_default_backend",
     "set_default_backend",

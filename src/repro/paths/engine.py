@@ -25,6 +25,24 @@ shortest-path-forest parent.  ``weights`` overrides the graph's CSR
 weights (used by the rounded-graph pipelines), and ``max_dist`` prunes
 the search to a ball, leaving everything beyond unreached.
 
+:func:`shortest_paths_batch` runs ``k`` *independent* searches in one
+call and returns ``(k, n)`` matrices::
+
+    res = shortest_paths_batch(g, [3, 17, 42], tracker=t)
+    res.dist[i]                          # distances of run i
+
+Each run may itself be multi-source (pass a sequence of source arrays
+instead of a flat array of singletons).  On the numpy backend the runs
+advance together as one source-tagged frontier — every gather/scatter
+round relaxes the frontier arcs of *all* runs — so ``k`` searches cost
+one schedule instead of ``k``.  The level-synchronous hopset builder
+leans on this to resolve every large-cluster center search of a
+recursion level in a single call.  The dense ``(k, n)`` output means
+``k`` should stay moderate (the builder chunks its runs); the tracker
+is charged the runs' *parallel* composition: ``work`` sums over runs,
+``rounds`` is the shared schedule length (numpy) or the longest run
+(sequential backends).
+
 Backend selection
 -----------------
 ``backend=`` picks the kernel per call; :func:`set_default_backend`
@@ -68,7 +86,13 @@ import numpy as np
 
 from repro.errors import ParameterError
 from repro.graph.csr import CSRGraph
-from repro.kernels import bucket_sssp, bucket_sssp_numba, resolve_backend
+from repro.kernels import (
+    bucket_sssp,
+    bucket_sssp_batch,
+    bucket_sssp_batch_numba,
+    bucket_sssp_numba,
+    resolve_backend,
+)
 from repro.kernels.numpy_kernel import INT_INF, count_occupied_buckets
 from repro.pram.tracker import PramTracker, null_tracker
 
@@ -133,32 +157,13 @@ def shortest_paths(
     tracker = tracker or null_tracker()
     sources = np.atleast_1d(np.asarray(sources, dtype=np.int64))
 
-    w = g.weights if weights is None else np.asarray(weights)
-    if w.shape[0] != g.num_arcs:
-        raise ParameterError("weights must have one entry per CSR slot")
     if offsets is None:
         offsets = np.zeros(sources.shape[0], dtype=np.int64)
     else:
         offsets = np.asarray(offsets)
     if offsets.shape[0] != sources.shape[0]:
         raise ParameterError("offsets must match sources in length")
-
-    int_mode = np.issubdtype(w.dtype, np.integer) and np.issubdtype(
-        offsets.dtype, np.integer
-    )
-    if delta is None:
-        if int_mode:
-            delta = 1  # Dial: one bucket per distance level
-        else:
-            delta = float(w.mean()) if w.shape[0] else 1.0
-            if not (delta > 0):
-                delta = 1.0
-    if delta <= 0:
-        raise ParameterError("delta must be positive")
-    if int_mode:
-        delta = int(delta)
-        if delta < 1:
-            delta = 1
+    w, int_mode, delta = _resolve_weights_and_delta(g, weights, offsets, delta)
 
     name = resolve_backend(backend or _DEFAULT_BACKEND)
     ranks = np.arange(sources.shape[0], dtype=np.int64)
@@ -178,16 +183,7 @@ def shortest_paths(
         )
 
     if max_dist is not None:
-        # prune to the ball: vertices whose buckets were cut off, plus
-        # bucket-mates that settled just beyond the cutoff (the numpy
-        # kernel finishes whole buckets) — keeps every backend's
-        # reachability identical at dist <= max_dist
-        cut = ~settled
-        cut |= dist > max_dist
-        dist = dist.copy()
-        dist[cut] = INT_INF if int_mode else np.inf
-        parent[cut] = -1
-        owner[cut] = -1
+        dist = _prune_to_ball(dist, parent, owner, settled, int_mode, max_dist)
 
     work = int(sum(bucket_work))
     rounds = int(sum(bucket_rounds))
@@ -212,6 +208,230 @@ def sssp(
 ) -> ShortestPathResult:
     """Single-source convenience wrapper around :func:`shortest_paths`."""
     return shortest_paths(g, np.asarray([source]), **kwargs)
+
+
+@dataclass(frozen=True)
+class BatchShortestPathResult:
+    """``k`` independent searches, stacked into ``(k, n)`` matrices.
+
+    ``dist[r, v]`` is run ``r``'s distance to ``v`` (``inf`` /
+    ``INT_INF`` when run ``r`` does not reach ``v``); ``parent`` and
+    ``owner`` hold vertex ids per run (``-1`` when unreached).  The
+    ledger fields describe the batch as one parallel composition:
+    ``arcs_relaxed`` sums every run's work, ``relax_rounds`` is the
+    shared schedule length on the numpy kernel and the longest single
+    run on the sequential backends.
+    """
+
+    dist: np.ndarray
+    parent: np.ndarray
+    owner: np.ndarray
+    buckets: int
+    relax_rounds: int
+    arcs_relaxed: int
+    backend: str
+    delta: float
+
+    @property
+    def k(self) -> int:
+        return int(self.dist.shape[0])
+
+
+def _normalize_runs(sources, offsets) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Flatten batch sources into ``(run_src, run_ptr, offs)``.
+
+    ``sources`` is either a flat integer array (k singleton runs) or a
+    sequence of per-run source arrays; ``offsets`` mirrors its shape
+    (``None`` = all-zero integer offsets, keeping Dial mode available).
+    """
+    is_flat = isinstance(sources, np.ndarray) and sources.ndim == 1
+    if not is_flat and not isinstance(sources, np.ndarray):
+        seq = list(sources)
+        is_flat = all(np.isscalar(s) or np.ndim(s) == 0 for s in seq)
+        sources = np.asarray(seq, dtype=np.int64) if is_flat else seq
+    if is_flat:
+        run_src = np.asarray(sources, dtype=np.int64)
+        run_ptr = np.arange(run_src.shape[0] + 1, dtype=np.int64)
+        if offsets is None:
+            offs = np.zeros(run_src.shape[0], dtype=np.int64)
+        else:
+            offs = np.asarray(offsets)
+            if offs.shape[0] != run_src.shape[0]:
+                raise ParameterError("offsets must match sources in length")
+        return run_src, run_ptr, offs
+    runs = [np.atleast_1d(np.asarray(r, dtype=np.int64)) for r in sources]
+    run_ptr = np.zeros(len(runs) + 1, dtype=np.int64)
+    np.cumsum([r.shape[0] for r in runs], out=run_ptr[1:])
+    run_src = (
+        np.concatenate(runs) if runs else np.empty(0, np.int64)
+    )
+    if offsets is None:
+        offs = np.zeros(run_src.shape[0], dtype=np.int64)
+    else:
+        per_run = [np.atleast_1d(np.asarray(o)) for o in offsets]
+        if len(per_run) != len(runs) or any(
+            o.shape[0] != r.shape[0] for o, r in zip(per_run, runs)
+        ):
+            raise ParameterError("offsets must mirror the per-run source shapes")
+        offs = np.concatenate(per_run) if per_run else np.empty(0, np.int64)
+    return run_src, run_ptr, offs
+
+
+def shortest_paths_batch(
+    g: CSRGraph,
+    sources,
+    offsets=None,
+    *,
+    weights: Optional[np.ndarray] = None,
+    delta: Optional[float] = None,
+    backend: Optional[str] = None,
+    max_dist: Optional[float] = None,
+    tracker: Optional[PramTracker] = None,
+) -> BatchShortestPathResult:
+    """Run ``k`` independent shortest-path searches as one batch.
+
+    Parameters
+    ----------
+    sources:
+        Either a flat integer array — ``k`` single-source runs — or a
+        sequence of source arrays, one per run (each run is then a
+        multi-source search exactly as in :func:`shortest_paths`).
+    offsets:
+        Start times mirroring the shape of ``sources``; defaults to
+        integer zeros so integer weights still select Dial mode.
+
+    Every run's results match a standalone :func:`shortest_paths` call
+    with the same sources/offsets (distances bit-for-bit; forest
+    parents may differ on exact ties because the shared schedule
+    interleaves buckets differently).  See the module docstring for
+    the sharing and accounting story.
+    """
+    tracker = tracker or null_tracker()
+    run_src, run_ptr, offs = _normalize_runs(sources, offsets)
+    k = run_ptr.shape[0] - 1
+    w, int_mode, delta = _resolve_weights_and_delta(g, weights, offs, delta)
+
+    name = resolve_backend(backend or _DEFAULT_BACKEND)
+    if run_src.shape[0]:
+        run_of = np.repeat(np.arange(k, dtype=np.int64), np.diff(run_ptr))
+        ranks = np.arange(run_src.shape[0], dtype=np.int64) - run_ptr[run_of]
+    else:
+        ranks = np.empty(0, np.int64)
+
+    if name == "numpy":
+        dist, parent, owner, settled, bucket_work, bucket_rounds = bucket_sssp_batch(
+            g.indptr, g.indices, w, g.n, run_src, run_ptr, offs, ranks, delta, max_dist
+        )
+        buckets = len(bucket_work)
+    elif name == "numba":
+        dist, parent, owner, settled, bucket_work, bucket_rounds = (
+            bucket_sssp_batch_numba(
+                g.indptr,
+                g.indices,
+                w,
+                g.n,
+                run_src,
+                run_ptr,
+                offs,
+                ranks,
+                delta,
+                max_dist,
+            )
+        )
+        if int_mode:
+            dist = _float_to_int_dist(dist)
+        buckets = len(bucket_work)
+    else:  # reference: one heapq oracle per run, parallel-composed
+        from repro.paths.dijkstra import dijkstra_reference
+
+        inf = INT_INF if int_mode else np.inf
+        dist = np.full(k * g.n, inf, dtype=np.int64 if int_mode else np.float64)
+        parent = np.full(k * g.n, -1, dtype=np.int64)
+        owner = np.full(k * g.n, -1, dtype=np.int64)
+        settled = np.zeros(k * g.n, dtype=bool)
+        buckets = 0
+        work_per_run = 2 * g.m + g.n
+        total_work = 0
+        for r in range(k):
+            lo, hi_i = int(run_ptr[r]), int(run_ptr[r + 1])
+            d, p, o = dijkstra_reference(
+                g,
+                run_src[lo:hi_i],
+                offsets=offs[lo:hi_i].astype(np.float64),
+                weights=w,
+                max_dist=max_dist,
+            )
+            sl = slice(r * g.n, (r + 1) * g.n)
+            settled[sl] = np.isfinite(d)
+            b = count_occupied_buckets(d, np.isfinite(d), delta)
+            buckets = max(buckets, b)
+            if b:
+                total_work += work_per_run
+            if int_mode:
+                d = _float_to_int_dist(d)
+            dist[sl], parent[sl], owner[sl] = d, p, o
+        bucket_work = [total_work] + [0] * max(buckets - 1, 0) if buckets else []
+        bucket_rounds = [1] * buckets
+
+    if max_dist is not None:
+        dist = _prune_to_ball(dist, parent, owner, settled, int_mode, max_dist)
+
+    work = int(sum(bucket_work))
+    rounds = int(sum(bucket_rounds))
+    if work or rounds:
+        tracker.parallel_round(work=work, rounds=max(rounds, 1))
+    return BatchShortestPathResult(
+        dist=dist.reshape(k, g.n),
+        parent=parent.reshape(k, g.n),
+        owner=owner.reshape(k, g.n),
+        buckets=buckets,
+        relax_rounds=rounds,
+        arcs_relaxed=work,
+        backend=name,
+        delta=float(delta),
+    )
+
+
+def _resolve_weights_and_delta(
+    g: CSRGraph, weights: Optional[np.ndarray], offsets: np.ndarray, delta
+):
+    """Shared per-call setup: weight override validation, integer
+    (Dial) mode detection, and the default bucket width — one policy
+    for single and batched calls."""
+    w = g.weights if weights is None else np.asarray(weights)
+    if w.shape[0] != g.num_arcs:
+        raise ParameterError("weights must have one entry per CSR slot")
+    int_mode = np.issubdtype(w.dtype, np.integer) and np.issubdtype(
+        offsets.dtype, np.integer
+    )
+    if delta is None:
+        if int_mode:
+            delta = 1  # Dial: one bucket per distance level
+        else:
+            delta = float(w.mean()) if w.shape[0] else 1.0
+            if not (delta > 0):
+                delta = 1.0
+    if delta <= 0:
+        raise ParameterError("delta must be positive")
+    if int_mode:
+        delta = max(int(delta), 1)
+    return w, int_mode, delta
+
+
+def _prune_to_ball(dist, parent, owner, settled, int_mode: bool, max_dist):
+    """Ball cleanup shared by single and batched calls: vertices whose
+    buckets were cut off, plus bucket-mates that settled just beyond
+    the cutoff (the numpy kernel finishes whole buckets), report as
+    unreached — keeping every backend's reachability identical at
+    ``dist <= max_dist``.  Mutates ``parent``/``owner`` in place and
+    returns the pruned distance array."""
+    cut = ~settled
+    cut |= dist > max_dist
+    dist = dist.copy()
+    dist[cut] = INT_INF if int_mode else np.inf
+    parent[cut] = -1
+    owner[cut] = -1
+    return dist
 
 
 def _float_to_int_dist(dist: np.ndarray) -> np.ndarray:

@@ -27,6 +27,20 @@ def resolve_rng(seed: SeedLike = None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
+def spawn_seeds(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Draw ``n`` child-stream seeds from ``rng`` (one vectorized call).
+
+    The lazy half of :func:`spawn`: callers that only instantiate a
+    subset of the children (e.g. the hopset builders, which assign one
+    stream per cluster but recurse on few) turn a seed into a generator
+    with ``np.random.default_rng(int(seed))`` on demand, skipping
+    thousands of unused Generator constructions.  The drawn values —
+    and therefore every derived stream — are identical to
+    :func:`spawn`'s.
+    """
+    return rng.integers(0, 2**63 - 1, size=n, dtype=np.int64)
+
+
 def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
     """Split ``rng`` into ``n`` independent child generators.
 
@@ -34,5 +48,4 @@ def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
     parallel sub-problems draw from non-overlapping streams and results
     are reproducible regardless of recursion order.
     """
-    seeds = rng.integers(0, 2**63 - 1, size=n, dtype=np.int64)
-    return [np.random.default_rng(int(s)) for s in seeds]
+    return [np.random.default_rng(int(s)) for s in spawn_seeds(rng, n)]

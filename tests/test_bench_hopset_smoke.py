@@ -1,0 +1,55 @@
+"""Tier-1 smoke test for ``benchmarks/bench_hopset.py``.
+
+The full benchmark runs at n = 10^5 and only in the bench suite; this
+exercises the same code path at toy scale so the script (imports,
+payload schema, equivalence check) cannot rot unnoticed between bench
+runs.
+"""
+
+import os
+import sys
+
+import pytest
+
+_BENCH_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "benchmarks"
+)
+
+
+@pytest.fixture(scope="module")
+def bench_hopset():
+    sys.path.insert(0, _BENCH_DIR)
+    try:
+        import bench_hopset as module
+    finally:
+        sys.path.remove(_BENCH_DIR)
+    return module
+
+
+def test_payload_schema_and_equivalence(bench_hopset):
+    # toy RGG (~degree 10, real multi-level structure at this radius)
+    payload = bench_hopset.run_hopset_bench(
+        2000, 0.04, graph_seed=5, build_seed=1, repeats=1
+    )
+    assert payload["n"] == 2000
+    assert set(payload["strategies"]) == {"batched", "recursive"}
+    for row in payload["strategies"].values():
+        assert row["seconds"] > 0
+        assert row["edges"] == row["star_edges"] + row["clique_edges"]
+        assert row["levels"] >= 1
+    # the load-bearing claim: identical hopsets from both strategies
+    assert payload["equivalent_edge_sets"]
+    assert payload["acceptance"]["target_speedup"] == 5.0
+    assert payload["acceptance"]["batched_speedup"] > 0
+    # at toy scale the 5x bar is not asserted — only recorded
+    assert "passed" in payload["acceptance"]
+
+
+def test_big_constants_give_acceptance_scale(bench_hopset):
+    # the committed BENCH_hopset.json must describe n=1e5, m~5e5
+    assert bench_hopset.BIG_N == 100_000
+    # expected edges = n * (n-1) * pi * r^2 / 2 ~ 5e5
+    import math
+
+    expected_m = bench_hopset.BIG_N**2 * math.pi * bench_hopset.BIG_RADIUS**2 / 2
+    assert 4.5e5 < expected_m < 5.6e5

@@ -1,0 +1,173 @@
+"""Tests for the batched multi-run engine API (``shortest_paths_batch``).
+
+The contract under test: every run of a batch returns exactly what a
+standalone :func:`shortest_paths` call with the same sources/offsets
+returns — on every backend, on multi-component graphs, and under
+tie-heavy unweighted inputs (distances and owners must match; forest
+parents are allowed to differ only on exact ties, which these seeds
+avoid except where the test checks owners specifically).
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.graph import from_edges, gnm_random_graph, with_random_weights
+from repro.kernels import available_backends
+from repro.paths import shortest_paths, shortest_paths_batch
+from repro.pram import PramTracker
+
+BACKENDS = available_backends()
+INT_INF = np.iinfo(np.int64).max
+
+
+def _weighted(n, m, seed, kind="loguniform", lo=1.0, hi=40.0):
+    g = gnm_random_graph(n, m, seed=seed, connected=True)
+    return with_random_weights(g, lo, hi, kind, seed=seed + 1000)
+
+
+def _multi_component(seed):
+    """Three disjoint random blobs glued into one vertex space."""
+    rng = np.random.default_rng(seed)
+    parts = []
+    offset = 0
+    for n, m in ((40, 120), (60, 180), (30, 80)):
+        g = gnm_random_graph(n, m, seed=int(rng.integers(1 << 30)), connected=True)
+        parts.append(g.edges_array() + offset)
+        offset += n
+    return from_edges(offset, np.concatenate(parts))
+
+
+class TestSingletonRuns:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_matches_per_source_loop_float(self, backend):
+        g = _weighted(150, 600, seed=3)
+        srcs = np.array([0, 17, 63, 149])
+        res = shortest_paths_batch(g, srcs, backend=backend)
+        assert res.dist.shape == (4, g.n)
+        for i, s in enumerate(srcs):
+            single = shortest_paths(g, int(s), backend=backend)
+            assert np.allclose(res.dist[i], single.dist)
+            assert np.array_equal(res.owner[i], single.owner)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_matches_per_source_loop_integer(self, backend):
+        g = _weighted(120, 480, seed=5, kind="integer", lo=1, hi=9)
+        w = g.weights.astype(np.int64)
+        srcs = np.array([2, 50, 80])
+        res = shortest_paths_batch(g, srcs, weights=w, backend=backend)
+        assert res.dist.dtype == np.int64  # Dial mode engages per batch
+        for i, s in enumerate(srcs):
+            single = shortest_paths(g, int(s), weights=w, backend=backend)
+            assert np.array_equal(res.dist[i], single.dist)
+            assert np.array_equal(res.owner[i], single.owner)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_multi_component_rows_stay_confined(self, backend):
+        g = _multi_component(seed=11)
+        srcs = np.array([0, 45, 101])  # one source per component
+        res = shortest_paths_batch(g, srcs, backend=backend)
+        for i, s in enumerate(srcs):
+            single = shortest_paths(g, int(s), backend=backend)
+            assert np.allclose(res.dist[i], single.dist, equal_nan=True)
+            assert np.array_equal(np.isinf(res.dist[i]), np.isinf(single.dist))
+            assert np.array_equal(res.owner[i], single.owner)
+
+    def test_unweighted_ties_owner_parity(self):
+        # path 0-1-2-3-4 raced from both ends inside one run: the batch
+        # must reproduce the engine's rank tie-break (earlier source wins)
+        g = from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        for backend in BACKENDS:
+            res = shortest_paths_batch(
+                g, [np.array([0, 4])], [np.array([0, 0])], backend=backend
+            )
+            single = shortest_paths(
+                g, np.array([0, 4]), offsets=np.array([0, 0]), backend=backend
+            )
+            assert np.array_equal(res.owner[0], single.owner), backend
+            assert np.array_equal(res.dist[0], single.dist), backend
+
+
+class TestMultiSourceRuns:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_runs_with_offsets(self, backend):
+        g = _weighted(100, 400, seed=7)
+        rng = np.random.default_rng(7)
+        runs = [rng.choice(g.n, size=c, replace=False) for c in (3, 1, 5)]
+        offs = [rng.uniform(0, 4, size=r.shape[0]) for r in runs]
+        res = shortest_paths_batch(g, runs, offs, backend=backend)
+        for i in range(3):
+            single = shortest_paths(g, runs[i], offsets=offs[i], backend=backend)
+            assert np.allclose(res.dist[i], single.dist)
+            assert np.array_equal(res.owner[i], single.owner)
+
+    def test_runs_are_independent(self):
+        # a vertex reached in run 0 stays unreached in a run sourced
+        # elsewhere: no cross-run leakage through the shared frontier
+        g = _multi_component(seed=13)
+        res = shortest_paths_batch(g, [np.array([0]), np.array([45])])
+        assert np.isfinite(res.dist[0][:40]).all()
+        assert np.isinf(res.dist[0][40:]).all()
+        assert np.isinf(res.dist[1][:40]).all()
+
+    def test_max_dist_prunes_each_run(self):
+        g = _weighted(80, 240, seed=9)
+        srcs = np.array([0, 40])
+        res = shortest_paths_batch(g, srcs, max_dist=4.0)
+        for i, s in enumerate(srcs):
+            single = shortest_paths(g, int(s), max_dist=4.0)
+            assert np.allclose(res.dist[i], single.dist, equal_nan=True)
+            assert np.array_equal(np.isinf(res.dist[i]), np.isinf(single.dist))
+
+
+class TestShapesAndLedger:
+    def test_empty_batch(self):
+        g = _weighted(30, 90, seed=15)
+        res = shortest_paths_batch(g, np.empty(0, np.int64))
+        assert res.dist.shape == (0, g.n)
+        assert res.k == 0
+
+    def test_empty_run_row(self):
+        g = _weighted(30, 90, seed=15)
+        res = shortest_paths_batch(g, [np.array([0]), np.empty(0, np.int64)])
+        assert np.isfinite(res.dist[0]).all()
+        assert np.isinf(res.dist[1]).all()
+        assert (res.owner[1] == -1).all()
+
+    def test_tracker_charged_once_for_the_batch(self):
+        g = _weighted(100, 400, seed=21)
+        t = PramTracker(n=g.n, depth_per_round=1)
+        res = shortest_paths_batch(g, np.array([0, 5, 9]), tracker=t)
+        assert t.work == res.arcs_relaxed
+        assert t.rounds == res.relax_rounds
+        # sharing: the batch schedule is far shorter than the three
+        # runs played back to back
+        singles = sum(
+            shortest_paths(g, s).relax_rounds for s in (0, 5, 9)
+        )
+        assert res.relax_rounds < singles
+
+    def test_mismatched_offsets_rejected(self):
+        g = _weighted(30, 90, seed=23)
+        with pytest.raises(ParameterError):
+            shortest_paths_batch(g, np.array([0, 1]), np.array([0.0]))
+        with pytest.raises(ParameterError):
+            shortest_paths_batch(
+                g, [np.array([0, 1])], [np.array([0.0])]
+            )
+
+    def test_deterministic(self):
+        g = _weighted(90, 360, seed=25)
+        a = shortest_paths_batch(g, np.array([0, 7, 13]))
+        b = shortest_paths_batch(g, np.array([0, 7, 13]))
+        assert np.array_equal(a.dist, b.dist)
+        assert np.array_equal(a.owner, b.owner)
+        assert np.array_equal(a.parent, b.parent)
+
+    def test_backends_agree(self):
+        g = _weighted(110, 440, seed=27)
+        srcs = np.array([0, 33, 77])
+        results = [shortest_paths_batch(g, srcs, backend=b) for b in BACKENDS]
+        for r in results[1:]:
+            assert np.allclose(results[0].dist, r.dist)
+            assert np.array_equal(results[0].owner, r.owner)
