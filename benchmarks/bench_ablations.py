@@ -14,7 +14,6 @@ import pytest
 import _report
 from repro.analysis import hop_reduction_summary
 from repro.clustering import est_cluster, cut_fraction
-from repro.graph import grid_graph
 from repro.hopsets import HopsetParams, build_hopset
 from repro.hopsets.result import HopsetResult
 

@@ -10,14 +10,13 @@ diameter) and work against the m*sqrt(n) of KS97.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 import _report
 from repro.analysis import fit_power_law
 from repro.graph import grid_graph
 from repro.hopsets import HopsetParams, build_hopset, ks97_hopset, suggested_hop_bound
 from repro.hopsets.query import exact_distance
-from repro.paths import arcs_from_graph, hop_limited_distances
+from repro.paths import hop_limited_distances
 from repro.pram import PramTracker
 
 PARAMS = HopsetParams(epsilon=0.5, delta=1.5, gamma1=0.15, gamma2=0.5)

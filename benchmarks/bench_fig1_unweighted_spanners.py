@@ -14,7 +14,6 @@ slack, our work does not grow with k while the baseline's does.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 import _report

@@ -14,8 +14,6 @@ reducing hops by a large factor; all distortions within bounds.
 
 from __future__ import annotations
 
-import numpy as np
-import pytest
 
 import _report
 from repro.analysis import hop_reduction_summary, theory

@@ -28,7 +28,7 @@ def _path_anatomy(g, beta, seed, rho=8.0):
     path = extract_path(parent, g.n - 1)
     labels = c.labels
     threshold = g.n / rho
-    large = set(int(l) for l in np.flatnonzero(c.sizes >= threshold))
+    large = set(int(lab) for lab in np.flatnonzero(c.sizes >= threshold))
 
     segments = []
     start = 0

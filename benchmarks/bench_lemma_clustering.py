@@ -18,12 +18,7 @@ import pytest
 
 import _report
 from repro.analysis import theory
-from repro.clustering import (
-    adjacent_cluster_counts,
-    cluster_radii,
-    est_cluster,
-    cut_edge_mask,
-)
+from repro.clustering import adjacent_cluster_counts, cluster_radii, est_cluster
 from repro.clustering.diagnostics import (
     empirical_cut_probability,
     monte_carlo_ball_intersections,

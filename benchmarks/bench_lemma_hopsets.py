@@ -5,7 +5,6 @@ Theorem 4.4 (work/depth scaling).
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 import _report
 from repro.analysis import fit_power_law, hop_reduction_summary, theory

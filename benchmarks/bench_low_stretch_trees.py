@@ -9,10 +9,9 @@ separates.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 import _report
-from repro.graph import gnm_random_graph, grid_graph, with_random_weights
+from repro.graph import gnm_random_graph, with_random_weights
 from repro.spanners.low_stretch_tree import (
     average_stretch,
     bfs_tree,

@@ -9,7 +9,6 @@ adopter cares about most.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 import _report

@@ -40,7 +40,6 @@ def main() -> None:
         columns=["round", "edges", "shrink", "connected", "median_dist_ratio"],
     )
     res = spanner_sparsify(g, k=3, bundle=2, rounds=4, seed=1)
-    prev = g
     # rebuild intermediate stages for the table (same seeds per round)
     current = g
     table.add(round=0, edges=g.m, shrink=1.0, connected=True, median_dist_ratio=1.0)

@@ -12,7 +12,6 @@ input.
 Run:  python examples/road_network_spanner.py
 """
 
-import numpy as np
 
 import repro
 from repro.analysis import stretch_summary

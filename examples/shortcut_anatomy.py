@@ -30,7 +30,7 @@ def main() -> None:
     rho = 8.0
     threshold = g.n / rho
     sizes = c.sizes
-    large_labels = set(int(l) for l in np.flatnonzero(sizes >= threshold))
+    large_labels = set(int(lab) for lab in np.flatnonzero(sizes >= threshold))
 
     dist, parent, _ = dijkstra(g, s)
     path = extract_path(parent, t)

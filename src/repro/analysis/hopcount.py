@@ -3,11 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
-from repro.graph.csr import CSRGraph
 from repro.hopsets.result import HopsetResult
 from repro.paths.bellman_ford import arcs_from_graph, hop_limited_distances
 from repro.paths.dijkstra import dijkstra_scipy

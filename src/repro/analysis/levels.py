@@ -9,7 +9,7 @@ aggregate Lemma 4.3 bound.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict
 
 from repro.errors import VerificationError
 from repro.exp.tables import Table
@@ -84,7 +84,7 @@ def levels_summary(hopset: HopsetResult) -> Dict[str, float]:
     levels = hopset.levels
     return {
         "num_levels": float(len(levels)),
-        "total_subproblems": float(sum(l.subproblems for l in levels)),
-        "max_beta": max((l.beta for l in levels), default=0.0),
-        "total_large_clusters": float(sum(l.large_clusters for l in levels)),
+        "total_subproblems": float(sum(lv.subproblems for lv in levels)),
+        "max_beta": max((lv.beta for lv in levels), default=0.0),
+        "total_large_clusters": float(sum(lv.large_clusters for lv in levels)),
     }

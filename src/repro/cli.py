@@ -16,8 +16,10 @@ Commands
     Emit a synthetic graph as an edge list.
 
 Weighted commands accept ``--backend {numpy,numba,reference}`` to pick
-the shortest-path kernel (see :mod:`repro.paths.engine`); ``numba``
-silently degrades to ``numpy`` when the JIT toolchain is missing.
+the shortest-path kernel (see :mod:`repro.paths.engine`).  Unlike the
+library registry (which degrades ``numba`` to ``numpy`` with a warning
+when the JIT toolchain is missing), an explicit CLI request for an
+unavailable backend is an error — the user asked for it by name.
 
 Examples::
 
@@ -65,7 +67,8 @@ def _add_backend_arg(p: argparse.ArgumentParser) -> None:
         "--backend",
         choices=["numpy", "numba", "reference"],
         default=None,
-        help="shortest-path kernel (default: engine default, numpy)",
+        help="shortest-path kernel (default: engine default, numpy); an "
+        "explicitly requested backend must be available — no silent fallback",
     )
 
 
@@ -276,6 +279,18 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[list[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    backend = getattr(args, "backend", None)
+    if backend is not None:
+        # the user asked for this kernel by name: hard-fail when it
+        # cannot run instead of the registry's silent numba -> numpy
+        from repro.errors import ParameterError
+        from repro.kernels import require_backend
+
+        try:
+            require_backend(backend)
+        except ParameterError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     return args.fn(args)
 
 

@@ -25,9 +25,8 @@ from repro.graph.csr import CSRGraph
 from repro.paths.bfs import bfs_with_start_times
 from repro.paths.engine import shortest_paths
 from repro.paths.weighted_bfs import weighted_bfs_with_start_times
-from repro.paths.trees import tree_depths
 from repro.pram.tracker import PramTracker, null_tracker
-from repro.rng import SeedLike, resolve_rng
+from repro.rng import SeedLike
 from repro.clustering.shifts import sample_shifts
 
 

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List
 
-import numpy as np
 
 from repro.exp.tables import Table
 

@@ -8,7 +8,7 @@ benchmark tables can cite their workloads ("grid-36", "gnm-1500x9000",
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List
 
 from repro.graph.builders import induced_subgraph
 from repro.graph.csr import CSRGraph

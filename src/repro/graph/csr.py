@@ -30,7 +30,7 @@ The undirected edge list itself is kept as ``edge_u``, ``edge_v``,
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Optional, Tuple
 
 import numpy as np
@@ -111,6 +111,40 @@ class CSRGraph:
         if self.m == 0:
             return 1.0
         return self.max_weight / self.min_weight
+
+    def suggest_delta(self) -> float:
+        """Bucket width for real-weight delta-stepping on this graph:
+        ``max_w / average degree`` over the cached weight stats (see
+        :func:`repro.kernels.numpy_kernel.suggest_delta`)."""
+        from repro.kernels.numpy_kernel import suggest_delta
+
+        return suggest_delta(self.n, self.num_arcs, self.max_weight)
+
+    def light_heavy_split(self, delta) -> Tuple[np.ndarray, ...]:
+        """Cached light/heavy arc partition of the CSR at width ``delta``.
+
+        Returns :func:`repro.kernels.numpy_kernel.split_light_heavy`'s
+        ``(l_indptr, l_indices, l_weights, h_indptr, h_indices,
+        h_weights)``.  The arrays are immutable, so one split per
+        distinct ``delta`` is computed and memoized on the instance
+        (the engine re-requests the same ``delta`` for every search on
+        a graph); the memo is bounded to keep repeated ad-hoc widths
+        from pinning arrays.
+        """
+        from repro.kernels.numpy_kernel import split_light_heavy
+
+        key = float(delta)
+        cache = self.__dict__.get("_lh_cache")
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_lh_cache", cache)
+        split = cache.get(key)
+        if split is None:
+            split = split_light_heavy(self.indptr, self.indices, self.weights, key)
+            if len(cache) >= 8:
+                cache.pop(next(iter(cache)))  # evict oldest, keep the rest hot
+            cache[key] = split
+        return split
 
     def degree(self, v: Optional[int] = None) -> np.ndarray | int:
         """Degree of vertex ``v``, or the full degree array if ``v`` is None."""

@@ -14,7 +14,6 @@ All generators are vectorized and take explicit seeds.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
 
 import numpy as np
 

@@ -22,8 +22,7 @@ Claim 4.1: ``beta_i = growth^i * beta0`` where
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
-from typing import Optional
+from dataclasses import dataclass, replace
 
 from repro.errors import ParameterError
 

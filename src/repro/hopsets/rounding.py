@@ -45,7 +45,7 @@ class RoundedGraph:
     def level_budget(self) -> int:
         """Lemma 5.2's bound on rounded path weight, i.e. the number of
         weighted-BFS levels needed to recover a band path."""
-        c = 1.0  # callers scale d so that the band is [d, c*d] with their own c
+        # callers scale d so that the band is [d, c*d] with their own c
         return int(math.ceil(self.k / self.zeta)) + 1
 
 

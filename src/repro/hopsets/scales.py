@@ -21,8 +21,8 @@ most ``base^3 = O((n/eps)^3)`` — together with the routing tables
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Tuple
 
 import numpy as np
 

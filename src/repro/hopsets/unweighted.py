@@ -194,7 +194,6 @@ def _recurse(
         tracker=tracker,
         backend=backend,
     )
-    labels = clustering.labels
     sizes = clustering.sizes
     num_clusters = clustering.num_clusters
     out.bump(

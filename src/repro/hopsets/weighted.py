@@ -160,6 +160,7 @@ def build_weighted_hopset(
     tracker: Optional[PramTracker] = None,
     backend: Optional[str] = None,
     strategy: str = "batched",
+    rounding: bool = True,
 ) -> WeightedHopset:
     """Build per-scale hopsets for a positively weighted graph.
 
@@ -181,6 +182,15 @@ def build_weighted_hopset(
         Execution strategy for every inner Algorithm 4 build —
         ``"batched"`` (level-synchronous, default) or ``"recursive"``
         (the depth-first oracle); identical results per seed.
+    rounding:
+        ``True`` (default) applies the Klein–Subramanian rounding of
+        Lemma 5.2 before each per-scale build — the paper's route to
+        bounded weighted-BFS depth.  ``False`` skips the quantization
+        detour entirely and runs Algorithm 4 on the pruned *real*
+        weights: the engine's light/heavy delta-stepping kernels make
+        float searches first-class, every per-scale distance is exact
+        (zero rounding distortion, ``w_hat = 1``), and only the band
+        pruning from step (1) remains.
     """
     if not (0 < eta < 1):
         raise ParameterError("eta must lie in (0, 1)")
@@ -200,8 +210,16 @@ def build_weighted_hopset(
         pruned = from_edges(
             g.n, np.stack([g.edge_u[keep], g.edge_v[keep]], axis=1), g.edge_w[keep]
         )
-        # (2) round (Lemma 5.2, hop budget n)
-        rounded = round_weights(pruned, d=d, k=max(g.n, 2), zeta=zeta) if pruned.m else None
+        # (2) round (Lemma 5.2, hop budget n) — or, with rounding off,
+        # keep the real weights and record an identity scale
+        if pruned.m == 0:
+            rounded = None
+        elif rounding:
+            rounded = round_weights(pruned, d=d, k=max(g.n, 2), zeta=zeta)
+        else:
+            rounded = RoundedGraph(
+                graph=pruned, w_hat=1.0, d=float(d), k=max(g.n, 2), zeta=zeta
+            )
         if rounded is None:
             continue
         # (3) Algorithm 4 on the rounded graph
@@ -226,5 +244,5 @@ def build_weighted_hopset(
         eta=eta,
         zeta=zeta,
         params=params,
-        meta={"num_scales": float(len(scales)), "c": c},
+        meta={"num_scales": float(len(scales)), "c": c, "rounding": float(rounding)},
     )

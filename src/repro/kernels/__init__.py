@@ -27,7 +27,12 @@ import warnings
 from typing import List
 
 from repro.errors import ParameterError
-from repro.kernels.numpy_kernel import bucket_sssp, bucket_sssp_batch, expand_frontier
+from repro.kernels.numpy_kernel import (
+    bucket_sssp,
+    bucket_sssp_batch,
+    expand_frontier,
+    split_light_heavy,
+)
 from repro.kernels.numba_kernel import (
     HAVE_NUMBA,
     bucket_sssp_batch_numba,
@@ -45,6 +50,23 @@ def available_backends() -> List[str]:
     if HAVE_NUMBA:
         out.insert(1, "numba")
     return out
+
+
+def require_backend(name: str) -> str:
+    """Like :func:`resolve_backend` but *strict*: when the caller asked
+    for a backend by name (e.g. CLI ``--backend numba``) and it cannot
+    actually run, raise instead of silently degrading."""
+    if name not in BACKENDS:
+        raise ParameterError(
+            f"unknown backend {name!r}; choose from {sorted(BACKENDS)}"
+        )
+    if name not in available_backends():
+        raise ParameterError(
+            f"backend {name!r} was requested explicitly but is not available "
+            f"on this machine (numba not importable); available backends: "
+            f"{available_backends()}"
+        )
+    return name
 
 
 def resolve_backend(name: str) -> str:
@@ -71,10 +93,12 @@ __all__ = [
     "BACKENDS",
     "HAVE_NUMBA",
     "available_backends",
+    "require_backend",
     "resolve_backend",
     "bucket_sssp",
     "bucket_sssp_batch",
     "bucket_sssp_batch_numba",
     "bucket_sssp_numba",
     "expand_frontier",
+    "split_light_heavy",
 ]

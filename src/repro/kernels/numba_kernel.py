@@ -1,16 +1,36 @@
-"""JIT-compiled SSSP kernel (optional numba backend).
+"""JIT-compiled SSSP kernels (optional numba backend).
 
-Same contract as :mod:`repro.kernels.numpy_kernel` but executed as one
-compiled scalar pass: an array-based binary-heap Dijkstra whose heap
-keys are ``(distance, owner rank, insertion order)``, which reproduces
-the engine's deterministic tie-break (earlier sources win) without any
-interpreter-per-edge overhead.  Distances are computed in ``float64``;
-integer-weight callers get exact results for values below 2**53 (the
-engine converts back).
+Same contract as :mod:`repro.kernels.numpy_kernel`, executed as
+compiled scalar passes.  Two cores:
+
+``_heap_sssp_core``
+    An array-based binary-heap Dijkstra whose heap keys are
+    ``(distance, owner rank, insertion order)``, which reproduces the
+    engine's deterministic tie-break (earlier sources win) without any
+    interpreter-per-edge overhead.  Serves the integer Dial path and
+    any call without a light/heavy split.
+``_delta_sssp_core``
+    Real-weight delta-stepping over a pre-split light/heavy adjacency
+    (:func:`repro.kernels.numpy_kernel.split_light_heavy`): each bucket
+    drains a light-edge worklist to its fixpoint, then relaxes every
+    settled member's heavy arcs once (heavy candidates always land in
+    later buckets).  Relaxations accept *strict* improvements only —
+    the same cross-round rule as the heapq reference and the numpy
+    kernel — and work is generated in deterministic order seeded by
+    source rank, so the equal-offset races the engine pins (earlier
+    source entry wins) resolve identically; as everywhere else, forest
+    parents/owners on exact measure-zero ties may be
+    schedule-dependent while distances are always exact.
+
+Distances are computed in ``float64``; integer-weight callers get
+exact results for values below 2**53 (the engine converts back).
 
 Import is guarded: when numba is missing, ``HAVE_NUMBA`` is False and
 :func:`repro.kernels.resolve_backend` silently maps ``numba`` to
-``numpy`` — nothing in the repo hard-requires the JIT toolchain.
+``numpy`` — nothing in the repo hard-requires the JIT toolchain.  The
+``njit`` stub below keeps both cores importable *and executable* as
+pure Python, so the algorithms stay testable even without the JIT
+(the registry never routes real traffic at them in that case).
 """
 
 from __future__ import annotations
@@ -102,20 +122,20 @@ def _heap_sssp_core(
         hk[0], hr[0], ht[0], hv[0] = hk[size], hr[size], ht[size], hv[size]
         j = 0
         while True:
-            l = 2 * j + 1
-            rgt = l + 1
+            lft = 2 * j + 1
+            rgt = lft + 1
             best = j
-            if l < size and (
-                hk[l] < hk[best]
+            if lft < size and (
+                hk[lft] < hk[best]
                 or (
-                    hk[l] == hk[best]
+                    hk[lft] == hk[best]
                     and (
-                        hr[l] < hr[best]
-                        or (hr[l] == hr[best] and ht[l] < ht[best])
+                        hr[lft] < hr[best]
+                        or (hr[lft] == hr[best] and ht[lft] < ht[best])
                     )
                 )
             ):
-                best = l
+                best = lft
             if rgt < size and (
                 hk[rgt] < hk[best]
                 or (
@@ -187,6 +207,166 @@ def _heap_sssp_core(
     return dist, parent, owner, settled, arcs
 
 
+@njit(cache=True)
+def _delta_sssp_core(
+    l_indptr,
+    l_indices,
+    l_w,
+    h_indptr,
+    h_indices,
+    h_w,
+    n,
+    sources,
+    offsets,
+    ranks,
+    delta,
+    max_dist,
+):  # pragma: no cover - compiled path; covered via the pure-Python stub
+    inf = np.inf
+    norank = np.iinfo(np.int64).max
+    dist = np.full(n, inf, dtype=np.float64)
+    parent = np.full(n, -1, dtype=np.int64)
+    owner = np.full(n, -1, dtype=np.int64)
+    rank = np.full(n, norank, dtype=np.int64)
+    settled = np.zeros(n, dtype=np.bool_)
+    in_pend = np.zeros(n, dtype=np.bool_)
+    in_wl = np.zeros(n, dtype=np.bool_)
+
+    # pending holds each unsettled labeled vertex at most once (in_pend
+    # guard), so capacity n suffices; the bucket worklist is an
+    # append-only log (lazy re-push on improvement) and grows on demand
+    pend = np.empty(n, dtype=np.int64)
+    pend_n = 0
+    members = np.empty(n, dtype=np.int64)
+    wl_cap = 1024
+    wl = np.empty(wl_cap, dtype=np.int64)
+
+    for i in range(sources.shape[0]):
+        v = sources[i]
+        d = offsets[i]
+        r = ranks[i]
+        if d < dist[v] or (d == dist[v] and r < rank[v]):
+            dist[v] = d
+            owner[v] = v
+            rank[v] = r
+            parent[v] = -1
+            if not in_pend[v]:
+                in_pend[v] = True
+                pend[pend_n] = v
+                pend_n += 1
+
+    arcs = 0
+    buckets = 0
+    while pend_n > 0:
+        # compact the pending pool and find the next bucket floor
+        m2 = 0
+        d_min = inf
+        for t in range(pend_n):
+            v = pend[t]
+            if settled[v]:
+                in_pend[v] = False
+                continue
+            pend[m2] = v
+            m2 += 1
+            if dist[v] < d_min:
+                d_min = dist[v]
+        pend_n = m2
+        if pend_n == 0:
+            break
+        if max_dist >= 0.0 and d_min > max_dist:
+            break
+        hi = (d_min // delta) * delta + delta
+        if hi <= d_min:
+            # roundoff degenerate bucket, same guard as the numpy kernel
+            hi = np.nextafter(d_min, inf)
+        buckets += 1
+
+        # move this bucket's vertices into the worklist
+        wl_n = 0
+        m2 = 0
+        for t in range(pend_n):
+            v = pend[t]
+            if dist[v] < hi:
+                in_pend[v] = False
+                if not in_wl[v]:
+                    in_wl[v] = True
+                    if wl_n == wl_cap:
+                        wl_cap *= 2
+                        nwl = np.empty(wl_cap, dtype=np.int64)
+                        nwl[:wl_n] = wl[:wl_n]
+                        wl = nwl
+                    wl[wl_n] = v
+                    wl_n += 1
+            else:
+                pend[m2] = v
+                m2 += 1
+        pend_n = m2
+
+        # light-edge fixpoint: drain the worklist, re-pushing any
+        # vertex whose distance improves while inside the bucket
+        mem_n = 0
+        head = 0
+        while head < wl_n:
+            v = wl[head]
+            head += 1
+            in_wl[v] = False
+            if not settled[v]:
+                settled[v] = True
+                members[mem_n] = v
+                mem_n += 1
+            dv = dist[v]
+            rv = rank[v]
+            ov = owner[v]
+            for a in range(l_indptr[v], l_indptr[v + 1]):
+                u = l_indices[a]
+                arcs += 1
+                nd = dv + l_w[a]
+                # strict improvement only — the same cross-round rule as
+                # the heapq reference and the numpy kernel, so equal-key
+                # claims resolve by generation order (seeded by rank)
+                if nd < dist[u]:
+                    dist[u] = nd
+                    parent[u] = v
+                    owner[u] = ov
+                    rank[u] = rv
+                    if nd < hi:
+                        if not in_wl[u]:
+                            in_wl[u] = True
+                            if wl_n == wl_cap:
+                                wl_cap *= 2
+                                nwl = np.empty(wl_cap, dtype=np.int64)
+                                nwl[:wl_n] = wl[:wl_n]
+                                wl = nwl
+                            wl[wl_n] = u
+                            wl_n += 1
+                    elif not in_pend[u]:
+                        in_pend[u] = True
+                        pend[pend_n] = u
+                        pend_n += 1
+
+        # heavy settle pass: members' labels are final, one round each
+        for t in range(mem_n):
+            v = members[t]
+            dv = dist[v]
+            rv = rank[v]
+            ov = owner[v]
+            for a in range(h_indptr[v], h_indptr[v + 1]):
+                u = h_indices[a]
+                arcs += 1
+                nd = dv + h_w[a]
+                if nd < dist[u]:
+                    dist[u] = nd
+                    parent[u] = v
+                    owner[u] = ov
+                    rank[u] = rv
+                    if not in_pend[u]:
+                        in_pend[u] = True
+                        pend[pend_n] = u
+                        pend_n += 1
+
+    return dist, parent, owner, settled, arcs, buckets
+
+
 def bucket_sssp_numba(
     indptr: np.ndarray,
     indices: np.ndarray,
@@ -197,18 +377,46 @@ def bucket_sssp_numba(
     ranks: np.ndarray,
     delta,
     max_dist=None,
+    light_heavy=None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, List[int], List[int]]:
     """Numba wrapper matching :func:`repro.kernels.numpy_kernel.bucket_sssp`.
 
-    The compiled core is sequential, so bucket statistics are
-    reconstructed from the final labeling: the work ledger gets the
-    arcs actually scanned and one round per occupied width-``delta``
-    distance band (the depth the equivalent bucket schedule would
-    take).  Raises ``RuntimeError`` when numba is unavailable; use
-    :func:`repro.kernels.resolve_backend` to fall back gracefully.
+    With ``light_heavy`` (a :func:`split_light_heavy` partition) the
+    call runs the compiled real-weight delta-stepping core; without it
+    (the integer Dial path) the heap Dijkstra core.  Both cores are
+    sequential, so bucket statistics are reconstructed: the work
+    ledger gets the arcs actually scanned and one round per processed
+    (or occupied) width-``delta`` bucket — the depth the equivalent
+    bucket schedule would take.  Raises ``RuntimeError`` when numba is
+    unavailable; use :func:`repro.kernels.resolve_backend` to fall
+    back gracefully.
     """
     if not HAVE_NUMBA:  # defensive: the registry should prevent this
         raise RuntimeError("numba backend requested but numba is not installed")
+    md = -1.0 if max_dist is None else float(max_dist)
+    if light_heavy is not None:
+        lip, lidx, lw, hip, hidx, hw = light_heavy
+        dist, parent, owner, settled, arcs, buckets = _delta_sssp_core(
+            np.asarray(lip, dtype=np.int64),
+            np.asarray(lidx, dtype=np.int64),
+            np.asarray(lw, dtype=np.float64),
+            np.asarray(hip, dtype=np.int64),
+            np.asarray(hidx, dtype=np.int64),
+            np.asarray(hw, dtype=np.float64),
+            n,
+            np.asarray(sources, dtype=np.int64),
+            np.asarray(offsets, dtype=np.float64),
+            np.asarray(ranks, dtype=np.int64),
+            float(delta),
+            md,
+        )
+        buckets = int(buckets)
+        bucket_work = [int(arcs)] + [0] * max(buckets - 1, 0) if buckets else []
+        # sequential core: like every sequential backend, the depth
+        # ledger is reconstructed as one round per processed bucket
+        # (the numpy kernel reports the real light/heavy round counts)
+        bucket_rounds = [1] * buckets
+        return dist, parent, owner, settled, bucket_work, bucket_rounds
     dist, parent, owner, settled, arcs = _heap_sssp_core(
         np.asarray(indptr, dtype=np.int64),
         np.asarray(indices, dtype=np.int64),
@@ -217,7 +425,7 @@ def bucket_sssp_numba(
         np.asarray(sources, dtype=np.int64),
         np.asarray(offsets, dtype=np.float64),
         np.asarray(ranks, dtype=np.int64),
-        -1.0 if max_dist is None else float(max_dist),
+        md,
     )
     from repro.kernels.numpy_kernel import count_occupied_buckets
 
@@ -238,15 +446,18 @@ def bucket_sssp_batch_numba(
     ranks: np.ndarray,
     delta,
     max_dist=None,
+    light_heavy=None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, List[int], List[int]]:
     """Batch counterpart of :func:`repro.kernels.numpy_kernel.bucket_sssp_batch`.
 
-    The compiled heap core is inherently sequential per search, so the
+    The compiled cores are inherently sequential per search, so the
     batch executes run after run (each run a compiled pass — no
-    interpreter-per-edge cost) instead of sharing rounds.  Results are
-    identical; the ledger reports total arcs as work and, as depth, one
-    round per bucket of the *longest* run — the parallel composition a
-    PRAM would see, matching the engine's batch accounting.
+    interpreter-per-edge cost) instead of sharing rounds; with
+    ``light_heavy`` each run goes through the delta-stepping core,
+    otherwise through the heap Dijkstra.  Results are identical; the
+    ledger reports total arcs as work and, as depth, one round per
+    bucket of the *longest* run — the parallel composition a PRAM
+    would see, matching the engine's batch accounting.
     """
     if not HAVE_NUMBA:
         raise RuntimeError("numba backend requested but numba is not installed")
@@ -259,6 +470,13 @@ def bucket_sssp_batch_numba(
     indptr = np.asarray(indptr, dtype=np.int64)
     indices = np.asarray(indices, dtype=np.int64)
     w = np.asarray(weights, dtype=np.float64)
+    if light_heavy is not None:
+        lip = np.asarray(light_heavy[0], dtype=np.int64)
+        lidx = np.asarray(light_heavy[1], dtype=np.int64)
+        lw = np.asarray(light_heavy[2], dtype=np.float64)
+        hip = np.asarray(light_heavy[3], dtype=np.int64)
+        hidx = np.asarray(light_heavy[4], dtype=np.int64)
+        hw = np.asarray(light_heavy[5], dtype=np.float64)
     k = run_ptr.shape[0] - 1
     dist = np.empty(k * n, dtype=np.float64)
     parent = np.empty(k * n, dtype=np.int64)
@@ -269,13 +487,20 @@ def bucket_sssp_batch_numba(
     md = -1.0 if max_dist is None else float(max_dist)
     for r in range(k):
         lo, hi = int(run_ptr[r]), int(run_ptr[r + 1])
-        d, p, o, s, arcs = _heap_sssp_core(
-            indptr, indices, w, n, run_src[lo:hi], offsets[lo:hi], ranks[lo:hi], md
-        )
+        if light_heavy is not None:
+            d, p, o, s, arcs, nb = _delta_sssp_core(
+                lip, lidx, lw, hip, hidx, hw, n,
+                run_src[lo:hi], offsets[lo:hi], ranks[lo:hi], float(delta), md,
+            )
+            max_buckets = max(max_buckets, int(nb))
+        else:
+            d, p, o, s, arcs = _heap_sssp_core(
+                indptr, indices, w, n, run_src[lo:hi], offsets[lo:hi], ranks[lo:hi], md
+            )
+            max_buckets = max(max_buckets, count_occupied_buckets(d, s, delta))
         sl = slice(r * n, (r + 1) * n)
         dist[sl], parent[sl], owner[sl], settled[sl] = d, p, o, s
         total_arcs += int(arcs)
-        max_buckets = max(max_buckets, count_occupied_buckets(d, s, delta))
     bucket_work = [total_arcs] + [0] * max(max_buckets - 1, 0) if max_buckets else []
     bucket_rounds = [1] * max_buckets
     return dist, parent, owner, settled, bucket_work, bucket_rounds

@@ -1,16 +1,31 @@
 """Vectorized bucket-relaxation SSSP kernel (numpy backend).
 
-The algorithm is delta-stepping without the light/heavy edge split:
-tentative distances are grouped into width-``delta`` buckets; processing
-a bucket repeatedly relaxes *all* arcs out of its frontier until no
-vertex inside the bucket improves, then moves to the next occupied
-bucket.  With positive weights this is exact: once bucket ``[lo, hi)``
-reaches its fixpoint no later relaxation can produce a distance below
-``hi`` (every candidate is ``dist[u] + w > lo`` with ``dist[u] >= lo``
-settled), so its members are final.  With ``delta <= min weight`` each
-bucket needs exactly one relaxation round and the schedule degenerates
-to Dial's algorithm — the integer-weight "weighted parallel BFS" of
-Section 5.
+The algorithm is delta-stepping, in two flavors selected by the
+``light_heavy`` argument:
+
+Without a split (``light_heavy=None``) tentative distances are grouped
+into width-``delta`` buckets; processing a bucket repeatedly relaxes
+*all* arcs out of its frontier until no vertex inside the bucket
+improves, then moves to the next occupied bucket.  With positive
+weights this is exact: once bucket ``[lo, hi)`` reaches its fixpoint no
+later relaxation can produce a distance below ``hi`` (every candidate
+is ``dist[u] + w > lo`` with ``dist[u] >= lo`` settled), so its members
+are final.  With ``delta <= min weight`` each bucket needs exactly one
+relaxation round and the schedule degenerates to Dial's algorithm —
+the integer-weight "weighted parallel BFS" of Section 5.  This is the
+bit-for-bit-preserved integer fast path.
+
+With a split (``light_heavy`` from :func:`split_light_heavy`) the
+kernel is true Meyer–Sanders delta-stepping for arbitrary non-negative
+real weights: the inner fixpoint loop relaxes only *light* arcs
+(``w <= delta`` — the only arcs that can re-enter the current bucket),
+and once the bucket settles, a single *heavy* pass relaxes the heavy
+arcs of every vertex the bucket settled.  A heavy candidate is
+``dist[u] + w > lo + delta = hi``, so it can never fall back into the
+bucket — one heavy round per bucket suffices, and the wasted
+re-relaxation of heavy arcs inside the fixpoint loop disappears.  The
+ledger charges every light iteration and the heavy pass as separate
+relaxation rounds, keeping the PRAM depth accounting honest.
 
 Every relaxation round is one batched gather/scatter over all frontier
 arcs — the same expand + lexsort claim-resolution idiom as the parallel
@@ -27,7 +42,7 @@ reference Dijkstra's documented tie rule).
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 import numpy as np
 
@@ -45,6 +60,53 @@ def count_occupied_buckets(dist: np.ndarray, mask: np.ndarray, delta) -> int:
     if reached.shape[0] == 0:
         return 0
     return int(np.unique((reached // float(delta)).astype(np.int64)).shape[0])
+
+
+def suggest_delta(n: int, num_arcs: int, max_weight: float) -> float:
+    """Default bucket width for real-weight delta-stepping:
+    ``max_weight / average degree`` (the Meyer–Sanders heuristic — the
+    expected light arcs per vertex stay O(1) per bucket while the
+    bucket count stays within a degree factor of the distance range).
+    Falls back to 1.0 for empty or degenerate weight distributions.
+    The single source of truth behind both
+    :meth:`repro.graph.csr.CSRGraph.suggest_delta` and the engine's
+    explicit-weights path.
+    """
+    if num_arcs == 0 or n == 0:
+        return 1.0
+    delta = max_weight / max(num_arcs / n, 1.0)
+    if not np.isfinite(delta) or delta <= 0:
+        return 1.0
+    return float(delta)
+
+
+def split_light_heavy(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    weights: np.ndarray,
+    delta,
+) -> Tuple[np.ndarray, ...]:
+    """Partition a CSR adjacency into light (``w <= delta``) and heavy
+    (``w > delta``) sub-CSRs.
+
+    Returns ``(l_indptr, l_indices, l_weights, h_indptr, h_indices,
+    h_weights)``.  CSR slots are grouped by source vertex, so masking
+    preserves each vertex's adjacency order and the sub-structures are
+    valid CSRs over the same vertex ids.  One O(m) pass; callers cache
+    the result per ``(graph, delta)`` (see
+    :meth:`repro.graph.csr.CSRGraph.light_heavy_split`).
+    """
+    n = indptr.shape[0] - 1
+    weights = np.asarray(weights)
+    light = weights <= delta
+    arc_src = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+    out = []
+    for mask in (light, ~light):
+        counts = np.bincount(arc_src[mask], minlength=n)
+        sub_indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=sub_indptr[1:])
+        out.extend((sub_indptr, indices[mask], weights[mask]))
+    return tuple(out)
 
 
 def expand_frontier(
@@ -76,6 +138,7 @@ def bucket_sssp(
     ranks: np.ndarray,
     delta,
     max_dist=None,
+    light_heavy=None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, List[int], List[int]]:
     """Multi-source bucket SSSP over raw CSR arrays.
 
@@ -91,6 +154,11 @@ def bucket_sssp(
         Stop once the next occupied bucket starts beyond this value;
         vertices not settled by then keep their (possibly tentative)
         labels — the caller decides how to report them.
+    light_heavy:
+        Optional :func:`split_light_heavy` partition at this ``delta``;
+        when given, buckets run the light-edge fixpoint loop plus one
+        heavy settle pass (real-weight delta-stepping) instead of
+        relaxing every arc each round.
 
     Returns ``(dist, parent, owner, settled, bucket_work,
     bucket_rounds)``: ``bucket_work[i]`` is the PRAM work (frontier
@@ -104,7 +172,17 @@ def bucket_sssp(
     sources = np.asarray(sources, dtype=np.int64)
     run_ptr = np.asarray([0, sources.shape[0]], dtype=np.int64)
     return bucket_sssp_batch(
-        indptr, indices, weights, n, sources, run_ptr, offsets, ranks, delta, max_dist
+        indptr,
+        indices,
+        weights,
+        n,
+        sources,
+        run_ptr,
+        offsets,
+        ranks,
+        delta,
+        max_dist,
+        light_heavy,
     )
 
 
@@ -119,6 +197,7 @@ def bucket_sssp_batch(
     ranks: np.ndarray,
     delta,
     max_dist=None,
+    light_heavy=None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, List[int], List[int]]:
     """Source-tagged batch of ``k`` independent bucket-SSSP runs.
 
@@ -140,6 +219,11 @@ def bucket_sssp_batch(
     ``bucket_work[i]`` is the PRAM work (frontier arcs, floored at
     frontier size) of the i-th processed bucket and ``bucket_rounds[i]``
     its relaxation-round count.
+
+    ``light_heavy`` (a :func:`split_light_heavy` partition of the
+    *shared* CSR at this ``delta``) switches buckets to the light-loop
+    + heavy-pass schedule; composite ids index the split through
+    ``comp % n`` exactly like the full adjacency.
     """
     int_mode = (
         np.issubdtype(np.asarray(weights).dtype, np.integer)
@@ -170,6 +254,48 @@ def bucket_sssp_batch(
     w_const = None
     if weights.shape[0] and (weights == weights[0]).all():
         w_const = weights[0]
+
+    def _relax_round(frontier, xip, xidx, xw):
+        """One claim-resolved relaxation of ``frontier`` over the
+        sub-adjacency ``(xip, xidx, xw)``.  Updates the label arrays in
+        place; returns ``(win_v, win_d, arcs)`` with ``win_v=None``
+        when nothing improved."""
+        vv = frontier if single else frontier % n
+        starts = xip[vv]
+        counts = xip[vv + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            return None, None, 0
+        arc_off = np.repeat(np.cumsum(counts) - counts, counts)
+        arc_idx = (
+            np.arange(total, dtype=np.int64) - arc_off + np.repeat(starts, counts)
+        )
+        arc_src = np.repeat(frontier, counts)
+        if single:
+            nbr = xidx[arc_idx]
+        else:
+            nbr = np.repeat(frontier - vv, counts) + xidx[arc_idx]
+        cand = dist[arc_src] + xw[arc_idx]
+        improving = cand < dist[nbr]
+        if not improving.any():
+            return None, None, total
+        nbr = nbr[improving]
+        src = arc_src[improving]
+        cand = cand[improving]
+        # one winner per claimed state: min (cand, rank, src)
+        sel = np.lexsort((src, rank[src], cand, nbr))
+        nbr_s, src_s, cand_s = nbr[sel], src[sel], cand[sel]
+        first = np.empty(nbr_s.shape[0], dtype=bool)
+        first[0] = True
+        np.not_equal(nbr_s[1:], nbr_s[:-1], out=first[1:])
+        win_v = nbr_s[first]
+        win_p = src_s[first]
+        win_d = cand_s[first]
+        dist[win_v] = win_d
+        parent[win_v] = win_p if single else win_p % n
+        owner[win_v] = owner[win_p]
+        rank[win_v] = rank[win_p]
+        return win_v, win_d, total
 
     pending: List[np.ndarray] = []
     if run_src.shape[0]:
@@ -216,6 +342,41 @@ def bucket_sssp_batch(
         frontier = pool[in_bucket]
         if not in_bucket.all():
             pending.append(pool[~in_bucket])
+
+        if light_heavy is not None:
+            # real-weight delta-stepping: light fixpoint + one heavy pass
+            lip, lidx, lw, hip, hidx, hw = light_heavy
+            work = 0
+            rounds = 0
+            member_chunks: List[np.ndarray] = []
+            while frontier.shape[0]:
+                rounds += 1
+                settled[frontier] = True
+                member_chunks.append(frontier)
+                win_v, win_d, arcs = _relax_round(frontier, lip, lidx, lw)
+                work += max(arcs, int(frontier.shape[0]))
+                if win_v is None:
+                    break
+                stay = win_d < hi  # improved into this bucket: re-relax now
+                frontier = win_v[stay]
+                if not stay.all():
+                    pending.append(win_v[~stay])
+            members = (
+                member_chunks[0]
+                if len(member_chunks) == 1
+                else np.unique(np.concatenate(member_chunks))
+            )
+            if members.shape[0]:
+                # heavy candidates land at >= hi, so one pass settles
+                # the bucket's heavy arcs for good
+                rounds += 1
+                win_v, win_d, arcs = _relax_round(members, hip, hidx, hw)
+                work += max(arcs, int(members.shape[0]))
+                if win_v is not None:
+                    pending.append(win_v)
+            bucket_work.append(work)
+            bucket_rounds.append(rounds)
+            continue
 
         work = 0
         rounds = 0

@@ -2,12 +2,16 @@
 shortest-path baseline.
 
 Included as the "what practitioners actually run" comparator for the
-Theorem 1.2 pipeline: delta-stepping buckets tentative distances into
-width-``delta`` ranges; each *phase* settles one bucket by repeatedly
-relaxing its light edges (w <= delta), then relaxes heavy edges once.
-PRAM accounting: every inner light-edge iteration and the heavy
-relaxation are rounds; total depth ~ (max_dist / delta) * (light
-iterations per bucket), the classic tradeoff in delta.
+Theorem 1.2 pipeline.  Since the engine grew a true light/heavy edge
+split, this module is a thin front-end over
+:func:`repro.paths.engine.shortest_paths`: real-valued weights go
+straight through the split bucket kernels (no quantization detour) —
+each *phase* settles one width-``delta`` bucket by repeatedly relaxing
+its light edges (``w <= delta``), then relaxes heavy edges once.  PRAM
+accounting comes from the engine's ledger: every inner light-edge
+iteration and the heavy relaxation are rounds; total depth ~
+``(max_dist / delta) * (light iterations per bucket)``, the classic
+tradeoff in ``delta``.
 """
 
 from __future__ import annotations
@@ -16,7 +20,6 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.errors import ParameterError
 from repro.graph.csr import CSRGraph
 from repro.pram.tracker import PramTracker, null_tracker
 
@@ -26,69 +29,25 @@ def delta_stepping(
     source: int,
     delta: Optional[float] = None,
     tracker: Optional[PramTracker] = None,
+    backend: Optional[str] = None,
 ) -> Tuple[np.ndarray, int]:
     """Single-source shortest paths by delta-stepping.
 
     Returns ``(dist, phases)`` where ``phases`` is the number of bucket
     phases (the outer sequential dimension of the algorithm's depth).
-    ``delta`` defaults to the mean edge weight (a standard heuristic).
+    ``delta`` defaults to the engine's ``max_w / avg_degree``
+    heuristic (:meth:`CSRGraph.suggest_delta`); ``backend`` picks the
+    kernel as in :func:`repro.paths.engine.shortest_paths`.
     """
+    from repro.paths.engine import shortest_paths
+
     tracker = tracker or null_tracker()
-    n = g.n
-    if g.m == 0:
-        dist = np.full(n, np.inf)
-        dist[source] = 0.0
-        return dist, 0
-    if delta is None:
-        delta = float(np.mean(g.edge_w))
-    if delta <= 0:
-        raise ParameterError("delta must be positive")
-
-    src = g.arc_sources()
-    dst = g.indices
-    w = g.weights
-    light = w <= delta
-
-    dist = np.full(n, np.inf)
-    dist[source] = 0.0
-    settled = np.zeros(n, dtype=bool)
-    phases = 0
-
-    while True:
-        # next non-empty bucket
-        unsettled = ~settled & np.isfinite(dist)
-        if not unsettled.any():
-            break
-        b = int(np.min(dist[unsettled] // delta))
-        lo, hi = b * delta, (b + 1) * delta
-        phases += 1
-
-        # light-edge inner loop: settle the bucket to fixpoint
-        while True:
-            in_bucket = ~settled & (dist >= lo) & (dist < hi)
-            if not in_bucket.any():
-                break
-            active = in_bucket[src] & light
-            tracker.parallel_round(work=int(active.sum()) + int(in_bucket.sum()))
-            settled |= in_bucket
-            if active.any():
-                cand = dist[src[active]] + w[active]
-                targets = dst[active]
-                new = dist.copy()
-                np.minimum.at(new, targets, cand)
-                improved = new < dist
-                dist = new
-                # re-open improved vertices that fell back into the bucket
-                settled &= ~(improved & (dist >= lo) & (dist < hi))
-            else:
-                break
-
-        # heavy relaxation from everything settled in this bucket
-        just = settled & (dist >= lo) & (dist < hi)
-        active = just[src] & ~light
-        tracker.parallel_round(work=int(active.sum()) + 1)
-        if active.any():
-            cand = dist[src[active]] + w[active]
-            np.minimum.at(dist, dst[active], cand)
-
-    return dist, phases
+    res = shortest_paths(
+        g,
+        source,
+        offsets=np.zeros(1, dtype=np.float64),  # force real-weight mode
+        delta=delta,
+        tracker=tracker,
+        backend=backend,
+    )
+    return res.dist.astype(np.float64, copy=False), res.buckets

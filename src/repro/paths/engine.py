@@ -61,8 +61,17 @@ Backend selection
 Integer weights *and* integer offsets switch distances to ``int64``
 and default ``delta`` to 1 — exact Dial buckets, i.e. the "weighted
 parallel BFS" of Section 5 whose depth is the number of distance
-levels.  Otherwise distances are ``float64`` and ``delta`` defaults to
-the mean edge weight (the standard delta-stepping heuristic).
+levels.  This integer fast path is preserved bit-for-bit.  Otherwise
+distances are ``float64`` and the engine runs *true delta-stepping*:
+the graph's arcs are partitioned into light (``w <= delta``) and heavy
+(``w > delta``) halves — cached per ``(graph, delta)`` via
+:meth:`CSRGraph.light_heavy_split` — and each bucket runs the
+light-edge fixpoint loop plus a single heavy settle pass.  ``delta``
+defaults to ``max_w / average degree``
+(:meth:`CSRGraph.suggest_delta`, the Meyer–Sanders heuristic); on the
+numpy kernel the tracker sees every light iteration and the heavy
+pass as separate relaxation rounds (sequential backends reconstruct
+one round per bucket, as they always have).
 
 Bucket/round <-> PRAM accounting
 --------------------------------
@@ -93,7 +102,12 @@ from repro.kernels import (
     bucket_sssp_numba,
     resolve_backend,
 )
-from repro.kernels.numpy_kernel import INT_INF, count_occupied_buckets
+from repro.kernels.numpy_kernel import (
+    INT_INF,
+    count_occupied_buckets,
+    split_light_heavy,
+    suggest_delta,
+)
 from repro.pram.tracker import PramTracker, null_tracker
 
 _DEFAULT_BACKEND = "numpy"
@@ -171,15 +185,18 @@ def shortest_paths(
     if name == "reference":
         return _run_reference(g, sources, offsets, w, int_mode, delta, max_dist, tracker)
 
+    split = _resolve_split(g, weights, w, delta, int_mode)
     if name == "numba":
         dist, parent, owner, settled, bucket_work, bucket_rounds = bucket_sssp_numba(
-            g.indptr, g.indices, w, g.n, sources, offsets, ranks, delta, max_dist
+            g.indptr, g.indices, w, g.n, sources, offsets, ranks, delta, max_dist,
+            light_heavy=split,
         )
         if int_mode:
             dist = _float_to_int_dist(dist)
     else:
         dist, parent, owner, settled, bucket_work, bucket_rounds = bucket_sssp(
-            g.indptr, g.indices, w, g.n, sources, offsets, ranks, delta, max_dist
+            g.indptr, g.indices, w, g.n, sources, offsets, ranks, delta, max_dist,
+            light_heavy=split,
         )
 
     if max_dist is not None:
@@ -319,11 +336,14 @@ def shortest_paths_batch(
         ranks = np.empty(0, np.int64)
 
     if name == "numpy":
+        split = _resolve_split(g, weights, w, delta, int_mode)
         dist, parent, owner, settled, bucket_work, bucket_rounds = bucket_sssp_batch(
-            g.indptr, g.indices, w, g.n, run_src, run_ptr, offs, ranks, delta, max_dist
+            g.indptr, g.indices, w, g.n, run_src, run_ptr, offs, ranks, delta,
+            max_dist, light_heavy=split,
         )
         buckets = len(bucket_work)
     elif name == "numba":
+        split = _resolve_split(g, weights, w, delta, int_mode)
         dist, parent, owner, settled, bucket_work, bucket_rounds = (
             bucket_sssp_batch_numba(
                 g.indptr,
@@ -336,6 +356,7 @@ def shortest_paths_batch(
                 ranks,
                 delta,
                 max_dist,
+                light_heavy=split,
             )
         )
         if int_mode:
@@ -407,15 +428,27 @@ def _resolve_weights_and_delta(
     if delta is None:
         if int_mode:
             delta = 1  # Dial: one bucket per distance level
+        elif weights is None:
+            delta = g.suggest_delta()  # cached max-weight stats
         else:
-            delta = float(w.mean()) if w.shape[0] else 1.0
-            if not (delta > 0):
-                delta = 1.0
+            delta = suggest_delta(
+                g.n, g.num_arcs, float(w.max()) if w.shape[0] else 1.0
+            )
     if delta <= 0:
         raise ParameterError("delta must be positive")
     if int_mode:
         delta = max(int(delta), 1)
     return w, int_mode, delta
+
+
+def _resolve_split(g: CSRGraph, weights, w: np.ndarray, delta, int_mode: bool):
+    """Light/heavy arc partition for the float (true delta-stepping)
+    path; ``None`` keeps the integer Dial schedule bit-for-bit."""
+    if int_mode:
+        return None
+    if weights is None:
+        return g.light_heavy_split(delta)
+    return split_light_heavy(g.indptr, g.indices, w, delta)
 
 
 def _prune_to_ball(dist, parent, owner, settled, int_mode: bool, max_dist):

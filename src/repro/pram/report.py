@@ -9,7 +9,7 @@ which is what "shape holds" means for Figures 1 and 2.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 import numpy as np
 

@@ -17,14 +17,12 @@ spanning trees).  We measure average stretch rather than certify it.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 import numpy as np
 
 from repro.clustering.est import est_cluster
-from repro.errors import NotConnectedError, ParameterError
+from repro.errors import ParameterError
 from repro.graph.csr import CSRGraph
 from repro.graph.quotient import quotient_graph
 from repro.graph.unionfind import UnionFind

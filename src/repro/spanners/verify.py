@@ -9,7 +9,7 @@ the spanner; sampled verification bounds cost on big graphs.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 

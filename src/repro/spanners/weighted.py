@@ -23,7 +23,7 @@ to O(log k); the ablation benchmark compares both.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 import numpy as np
 
@@ -125,7 +125,7 @@ def _well_separated_spanner(
         )
         gq = q.graph
 
-        with tracker.phase(f"group_level"):
+        with tracker.phase("group_level"):
             clustering = est_cluster(
                 gq, beta, seed=rng, method=method, tracker=tracker, backend=backend
             )

@@ -5,15 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.graph import (
-    cycle_graph,
-    from_edges,
-    gnm_random_graph,
-    grid_graph,
-    path_graph,
-    star_graph,
-    with_random_weights,
-)
+from repro.graph import from_edges, gnm_random_graph, grid_graph, path_graph, with_random_weights
 
 
 @pytest.fixture

@@ -5,7 +5,7 @@ import pytest
 
 from repro.analysis import fit_power_law, hop_reduction_summary, stretch_summary, theory
 from repro.exp import Experiment, Table, aggregate, format_table, run_trials
-from repro.graph import grid_graph, gnm_random_graph
+from repro.graph import grid_graph
 from repro.hopsets import HopsetParams, build_hopset
 from repro.spanners import unweighted_spanner
 
@@ -69,13 +69,17 @@ class TestTheory:
 
 class TestHarness:
     def test_run_trials_deterministic(self):
-        fn = lambda seed: {"x": float(seed % 7)}
+        def fn(seed):
+            return {"x": float(seed % 7)}
+
         a = run_trials(fn, 4, base_seed=1)
         b = run_trials(fn, 4, base_seed=1)
         assert [t.values for t in a] == [t.values for t in b]
 
     def test_aggregate_stats(self):
-        fn = lambda seed: {"v": float(seed % 3)}
+        def fn(seed):
+            return {"v": float(seed % 3)}
+
         agg = aggregate(run_trials(fn, 10, base_seed=2))
         assert agg["v"]["n"] == 10
         assert agg["v"]["min"] <= agg["v"]["mean"] <= agg["v"]["max"]

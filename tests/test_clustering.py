@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.clustering import (
-    Clustering,
     adjacent_cluster_counts,
     ball_cluster_count,
     boundary_vertices,
@@ -18,7 +17,6 @@ from repro.clustering import (
     shift_upper_bound,
 )
 from repro.errors import ParameterError
-from repro.graph import gnm_random_graph, grid_graph, path_graph, with_random_weights
 from repro.paths.dijkstra import all_pairs_distances
 from repro.paths.trees import extract_path
 from repro.pram import PramTracker

@@ -8,7 +8,6 @@ from repro.errors import ParameterError, VerificationError
 from repro.graph import (
     connected_components,
     cycle_graph,
-    from_edges,
     gnm_random_graph,
     grid_graph,
     path_graph,

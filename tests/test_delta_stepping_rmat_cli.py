@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import ParameterError
-from repro.graph import gnm_random_graph, path_graph, with_random_weights
+from repro.graph import gnm_random_graph, with_random_weights
 from repro.graph.generators import rmat_graph
 from repro.graph.validation import validate_graph
 from repro.paths.delta_stepping import delta_stepping

@@ -1,6 +1,5 @@
 """Edge-case sweeps: structured graphs through every major algorithm."""
 
-import numpy as np
 import pytest
 
 from repro.clustering import est_cluster

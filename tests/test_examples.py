@@ -8,7 +8,6 @@ is executed end-to-end on a reduced input.
 
 import importlib.util
 import os
-import sys
 
 import pytest
 

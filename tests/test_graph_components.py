@@ -7,7 +7,6 @@ from repro.graph import (
     connected_components,
     from_edges,
     gnm_random_graph,
-    grid_graph,
     is_connected,
     largest_component,
 )

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import GraphFormatError
-from repro.graph import CSRGraph, from_edges, path_graph
+from repro.graph import from_edges, path_graph
 from repro.graph.csr import build_csr
 
 

@@ -115,7 +115,6 @@ class TestRandom:
 
     def test_rgg_vs_bruteforce(self):
         # grid hashing must find exactly the pairs within radius
-        rng = np.random.default_rng(8)
         n, r = 60, 0.25
         g = random_geometric_graph(n, r, seed=8)
         pts = np.random.default_rng(8).random((n, 2))

@@ -1,7 +1,6 @@
 """Unit tests for quotient graphs (contraction with edge-id tracking)."""
 
 import numpy as np
-import pytest
 
 from repro.graph import from_edges, quotient_graph
 from repro.graph.quotient import contract_graph

@@ -1,7 +1,6 @@
 """Unit tests for the vectorized union-find."""
 
 import numpy as np
-import pytest
 
 from repro.graph import UnionFind
 

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import ParameterError
-from repro.graph import grid_graph, gnm_random_graph, with_random_weights
+from repro.graph import grid_graph
 from repro.hopsets import build_limited_hopset, cohen_style_hopset, ks97_hopset
 from repro.hopsets.query import exact_distance
 from repro.paths import arcs_from_graph, hop_limited_distances

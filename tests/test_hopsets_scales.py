@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import NotConnectedError, ParameterError
-from repro.graph import from_edges, gnm_random_graph, hard_weight_graph, with_random_weights
+from repro.graph import from_edges, hard_weight_graph
 from repro.hopsets import build_weight_scales
 from repro.hopsets.query import exact_distance
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.graph import gnm_random_graph, grid_graph, path_graph, with_random_weights
+from repro.graph import grid_graph, path_graph
 from repro.hopsets import HopsetParams, build_hopset
 from repro.hopsets.query import exact_distance, hopset_distance
 from repro.paths import arcs_from_graph, hop_limited_distances

@@ -1,7 +1,6 @@
 """Integration tests: full pipelines across modules, Theorem 1.1/1.2 shape."""
 
 import numpy as np
-import pytest
 
 from repro.graph import (
     barabasi_albert_graph,

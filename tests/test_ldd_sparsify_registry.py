@@ -7,8 +7,7 @@ import pytest
 from repro.clustering.ldd import LowDiameterDecomposition, low_diameter_decomposition
 from repro.errors import ParameterError, VerificationError
 from repro.exp.experiments import experiment_ids, run_experiment
-from repro.graph import gnm_random_graph, grid_graph, is_connected, with_random_weights
-from repro.graph.builders import subgraph_by_edge_ids
+from repro.graph import gnm_random_graph, is_connected
 from repro.spanners.sparsify import spanner_sparsify
 
 

@@ -77,7 +77,7 @@ class TestLowStretchTree:
 
 class TestReportWriter:
     def test_roundtrip(self, tmp_path):
-        from repro.exp.report_writer import collect_tables, render_markdown, write_report
+        from repro.exp.report_writer import collect_tables, write_report
 
         d = tmp_path / "results"
         d.mkdir()

@@ -45,7 +45,9 @@ class TestTrackerComposition:
 
 class TestHarnessDetails:
     def test_custom_base_seed_changes_trials(self):
-        fn = lambda seed: {"s": float(seed)}
+        def fn(seed):
+            return {"s": float(seed)}
+
         a = Experiment(name="a", fn=fn, repetitions=3, base_seed=1).run()
         b = Experiment(name="b", fn=fn, repetitions=3, base_seed=2).run()
         assert [t.values for t in a] != [t.values for t in b]

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.graph import from_edges, gnm_random_graph, path_graph, with_random_weights
+from repro.graph import from_edges, path_graph
 from repro.paths import (
     ArcSet,
     arcs_from_graph,

@@ -1,9 +1,8 @@
 """Unit tests for level-synchronous BFS (including start-time races)."""
 
 import numpy as np
-import pytest
 
-from repro.graph import from_edges, gnm_random_graph, grid_graph, path_graph
+from repro.graph import gnm_random_graph, grid_graph, path_graph
 from repro.paths import bfs, multi_source_bfs
 from repro.paths.bfs import INF, bfs_with_start_times
 from repro.paths.dijkstra import dijkstra_scipy

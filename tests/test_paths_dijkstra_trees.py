@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import VerificationError
-from repro.graph import from_edges, gnm_random_graph, path_graph, with_random_weights
+from repro.graph import path_graph
 from repro.paths import dijkstra, dijkstra_scipy, st_distance
 from repro.paths.dijkstra import all_pairs_distances
 from repro.paths.trees import extract_path, tree_depths, verify_sssp_tree

@@ -1,7 +1,6 @@
 """Second property-based round: composition laws and application invariants."""
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -3,8 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.errors import ParameterError, VerificationError
-from repro.graph import gnm_random_graph, grid_graph, path_graph, with_random_weights
+from repro.errors import ParameterError
+from repro.graph import gnm_random_graph, path_graph
 from repro.graph.validation import is_subgraph
 from repro.pram import PramTracker
 from repro.spanners import max_edge_stretch, unweighted_spanner, verify_spanner

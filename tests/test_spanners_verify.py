@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import VerificationError
-from repro.graph import from_edges, gnm_random_graph, path_graph
+from repro.graph import from_edges, path_graph
 from repro.graph.builders import subgraph_by_edge_ids
 from repro.spanners import edge_stretches, max_edge_stretch, pair_stretches, verify_spanner
 from repro.spanners.result import SpannerResult, edge_id_lookup

@@ -1,6 +1,5 @@
 """Unit tests for the workload registry and extended experiment registry."""
 
-import numpy as np
 import pytest
 
 from repro.exp.experiments import experiment_ids, run_experiment
