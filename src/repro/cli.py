@@ -21,6 +21,11 @@ library registry (which degrades ``numba`` to ``numpy`` with a warning
 when the JIT toolchain is missing), an explicit CLI request for an
 unavailable backend is an error — the user asked for it by name.
 
+``sssp`` and ``hopset`` also accept ``--workers N`` — the engine's
+multicore knob (``1`` = serial, the default; ``0`` or negative = all
+cores; see :func:`repro.parallel.pool.effective_workers`).  Worker
+count changes wall-clock only: results are bit-identical.
+
 Examples::
 
     python -m repro.cli generate --kind grid --rows 30 --cols 30 -o g.txt
@@ -60,6 +65,21 @@ def _add_io_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--n", type=int, default=1000, help="vertices for generated input")
     p.add_argument("--m", type=int, default=5000, help="edges for generated input")
     p.add_argument("--seed", type=int, default=0)
+
+
+def _add_workers_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="engine worker threads (1 = serial, 0 or negative = all cores); "
+        "results are identical for every value",
+    )
+
+
+def _workers_from_args(args) -> "Optional[int]":
+    w = getattr(args, "workers", 1)
+    return None if w is not None and w <= 0 else w
 
 
 def _add_backend_arg(p: argparse.ArgumentParser) -> None:
@@ -118,7 +138,13 @@ def cmd_hopset(args) -> int:
     params = HopsetParams(epsilon=args.epsilon, delta=1.5, gamma1=0.15, gamma2=0.5)
     t = PramTracker(n=g.n)
     hs = build_hopset(
-        g, params, seed=args.seed, tracker=t, backend=args.backend, strategy=args.strategy
+        g,
+        params,
+        seed=args.seed,
+        tracker=t,
+        backend=args.backend,
+        strategy=args.strategy,
+        workers=_workers_from_args(args),
     )
     print(f"graph: n={g.n} m={g.m}")
     print(f"hopset: {hs.size} edges ({hs.star_count} star, {hs.clique_count} clique)")
@@ -181,7 +207,12 @@ def cmd_sssp(args) -> int:
     g = _load_graph(args)
     t = PramTracker(n=g.n)
     res = shortest_paths(
-        g, args.source, delta=args.delta, backend=args.backend, tracker=t
+        g,
+        args.source,
+        delta=args.delta,
+        backend=args.backend,
+        tracker=t,
+        workers=_workers_from_args(args),
     )
     if res.dist.dtype.kind == "f":
         finite = np.isfinite(res.dist)
@@ -237,6 +268,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("hopset", help="build a hopset (and query)")
     _add_io_args(p)
     _add_backend_arg(p)
+    _add_workers_arg(p)
     p.add_argument("--epsilon", type=float, default=0.5)
     p.add_argument("--query", type=int, nargs=2, metavar=("S", "T"))
     p.add_argument(
@@ -256,6 +288,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("sssp", help="run the bucket shortest-path engine")
     _add_io_args(p)
     _add_backend_arg(p)
+    _add_workers_arg(p)
     p.add_argument("--source", type=int, default=0)
     p.add_argument("--delta", type=float, default=None, help="bucket width (default: heuristic)")
     p.add_argument("--check", action="store_true", help="verify against the scipy oracle")

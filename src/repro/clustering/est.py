@@ -139,6 +139,7 @@ def est_cluster(
     tracker: Optional[PramTracker] = None,
     shifts: Optional[np.ndarray] = None,
     backend: Optional[str] = None,
+    workers: Optional[int] = 1,
 ) -> Clustering:
     """Run EST clustering on ``g`` with parameter ``beta``.
 
@@ -156,6 +157,10 @@ def est_cluster(
     backend:
         Shortest-path kernel for the weighted races, as in
         :func:`repro.paths.engine.shortest_paths`.
+    workers:
+        Multicore knob for the weighted engine races (``1`` = serial,
+        ``None`` = all cores); the unweighted BFS race is untouched.
+        Clusterings are identical for every value.
     """
     if beta <= 0 or not np.isfinite(beta):
         raise ParameterError(f"beta must be a positive float, got {beta}")
@@ -182,7 +187,8 @@ def est_cluster(
             # the tracker its real ledger (work = arcs relaxed, rounds
             # = relaxation rounds) instead of a synthetic estimate
             res = shortest_paths(
-                g, np.arange(n), offsets=start_real, tracker=tracker, backend=backend
+                g, np.arange(n), offsets=start_real, tracker=tracker,
+                backend=backend, workers=workers,
             )
             dist, parent, owner = res.dist, res.parent, res.owner
         dist_to_center = dist - start_real[owner]
@@ -214,6 +220,7 @@ def est_cluster(
                     weights_int=w_int,
                     tracker=tracker,
                     backend=backend,
+                    workers=workers,
                 )
             dist_to_center = (sdist - start_int[owner]).astype(np.float64)
             rounds = levels
@@ -280,6 +287,7 @@ def est_cluster_forest(
     method: str = "auto",
     tracker: Optional[PramTracker] = None,
     backend: Optional[str] = None,
+    workers: Optional[int] = 1,
 ) -> Clustering:
     """EST-cluster every block of a block-diagonal union in one race.
 
@@ -373,6 +381,7 @@ def est_cluster_forest(
                     delta=1,
                     tracker=tracker,
                     backend=backend,
+                    workers=workers,
                 )
             center[verts] = res.owner[verts]
             parent[verts] = res.parent[verts]
@@ -383,7 +392,8 @@ def est_cluster_forest(
         else:
             with tracker.phase("est_exact"):
                 res = shortest_paths(
-                    g, verts, offsets=start_real[verts], tracker=tracker, backend=backend
+                    g, verts, offsets=start_real[verts], tracker=tracker,
+                    backend=backend, workers=workers,
                 )
             center[verts] = res.owner[verts]
             parent[verts] = res.parent[verts]

@@ -86,12 +86,16 @@ def distributed_sssp(
     offsets: Optional[np.ndarray] = None,
     congest_words: int = 4,
     max_rounds: int = 10**6,
+    workers: Optional[int] = 1,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, SyncNetwork]:
     """Run the synchronous weighted SSSP protocol.
 
     Returns ``(dist, parent, owner, network)`` matching the engine's
     labeling (``inf``/-1 where unreached); the network carries the
-    round and message accounting.
+    round and message accounting.  ``workers`` fans each round's
+    handler sweep out over threads (see
+    :meth:`repro.distributed.engine.SyncNetwork.run`) — results and
+    round counts are identical for every value.
     """
     sources = np.atleast_1d(np.asarray(sources, dtype=np.int64))
     if offsets is None:
@@ -101,7 +105,7 @@ def distributed_sssp(
         raise ParameterError("offsets must match sources in length")
 
     net = SyncNetwork(g, congest_words=congest_words)
-    net.run(_SSSPProgram(g, sources, offsets), max_rounds=max_rounds)
+    net.run(_SSSPProgram(g, sources, offsets), max_rounds=max_rounds, workers=workers)
 
     dist = np.asarray([net.state[v]["dist"] for v in range(g.n)], dtype=np.float64)
     parent = np.asarray([net.state[v]["parent"] for v in range(g.n)], dtype=np.int64)

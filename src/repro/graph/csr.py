@@ -129,7 +129,9 @@ class CSRGraph:
         distinct ``delta`` is computed and memoized on the instance
         (the engine re-requests the same ``delta`` for every search on
         a graph); the memo is bounded to keep repeated ad-hoc widths
-        from pinning arrays.
+        from pinning arrays, evicting the *least recently used* width
+        — a burst of one-off deltas must not force a re-split of the
+        hot default width mid-run.
         """
         from repro.kernels.numpy_kernel import split_light_heavy
 
@@ -140,10 +142,14 @@ class CSRGraph:
             object.__setattr__(self, "_lh_cache", cache)
         split = cache.get(key)
         if split is None:
-            split = split_light_heavy(self.indptr, self.indices, self.weights, key)
             if len(cache) >= 8:
-                cache.pop(next(iter(cache)))  # evict oldest, keep the rest hot
+                cache.pop(next(iter(cache)))  # evict the LRU entry only
+            split = split_light_heavy(self.indptr, self.indices, self.weights, key)
             cache[key] = split
+        else:
+            # LRU touch: re-insert so a hit moves the width to the back
+            # of the eviction order (dicts iterate in insertion order)
+            cache[key] = cache.pop(key)
         return split
 
     def degree(self, v: Optional[int] = None) -> np.ndarray | int:

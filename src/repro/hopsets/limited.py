@@ -76,6 +76,7 @@ def build_limited_hopset(
     seed: SeedLike = None,
     tracker: Optional[PramTracker] = None,
     strategy: str = "batched",
+    workers: Optional[int] = 1,
 ) -> LimitedHopset:
     """Run the Theorem C.2 iteration on ``g``.
 
@@ -85,7 +86,8 @@ def build_limited_hopset(
     O(1/eta) hopsets); the benchmarks sweep small graphs.  Every inner
     Algorithm 4 build runs with the given ``strategy`` (the
     level-synchronous ``"batched"`` path by default; both strategies
-    yield identical shortcut sets per seed).
+    yield identical shortcut sets per seed) and ``workers`` (the
+    engine's multicore knob — wall-clock only, identical output).
     """
     if not (0 < alpha < 1):
         raise ParameterError("alpha must lie in (0, 1)")
@@ -147,6 +149,7 @@ def build_limited_hopset(
                 method="exact",
                 tracker=child_tracker,
                 strategy=strategy,
+                workers=workers,
             )
             if hs.size:
                 new_eu.append(hs.eu)

@@ -134,7 +134,11 @@ class _Collector:
 
 
 def _center_distances(
-    sub: CSRGraph, center: int, tracker: PramTracker, backend: Optional[str] = None
+    sub: CSRGraph,
+    center: int,
+    tracker: PramTracker,
+    backend: Optional[str] = None,
+    workers: Optional[int] = 1,
 ) -> np.ndarray:
     """Distances from one center in the current subgraph (the Line 9 BFS).
 
@@ -149,10 +153,17 @@ def _center_distances(
     w_int = sub.weights.astype(np.int64)
     if np.array_equal(w_int.astype(np.float64), sub.weights):
         dist, _, _, _ = dial_sssp(
-            sub, np.asarray([center]), weights_int=w_int, tracker=tracker, backend=backend
+            sub,
+            np.asarray([center]),
+            weights_int=w_int,
+            tracker=tracker,
+            backend=backend,
+            workers=workers,
         )
         return np.where(dist == np.iinfo(np.int64).max, np.inf, dist.astype(np.float64))
-    return shortest_paths(sub, center, tracker=tracker, backend=backend).dist
+    return shortest_paths(
+        sub, center, tracker=tracker, backend=backend, workers=workers
+    ).dist
 
 
 def _cluster_method(sub: CSRGraph, requested: str) -> str:
@@ -179,6 +190,7 @@ def _recurse(
     out: _Collector,
     star_weights: str = "tree",
     backend: "Optional[str]" = None,
+    workers: Optional[int] = 1,
 ) -> None:
     n_sub = sub.n
     n_final = params.n_final(n_top)
@@ -193,6 +205,7 @@ def _recurse(
         method=_cluster_method(sub, method),
         tracker=tracker,
         backend=backend,
+        workers=workers,
     )
     sizes = clustering.sizes
     num_clusters = clustering.num_clusters
@@ -227,6 +240,7 @@ def _recurse(
                 out,
                 star_weights=star_weights,
                 backend=backend,
+                workers=workers,
             )
             children.append(child_tracker)
         tracker.parallel_children(children)
@@ -251,7 +265,11 @@ def _recurse(
         bfs_children = []
         for c in center_ids:
             child_tracker = tracker.fork()
-            dists.append(_center_distances(sub, int(c), child_tracker, backend=backend))
+            dists.append(
+                _center_distances(
+                    sub, int(c), child_tracker, backend=backend, workers=workers
+                )
+            )
             bfs_children.append(child_tracker)
         tracker.parallel_children(bfs_children)
 
@@ -307,6 +325,7 @@ def _recurse(
             out,
             star_weights=star_weights,
             backend=backend,
+            workers=workers,
         )
         children.append(child_tracker)
     tracker.parallel_children(children)
@@ -359,6 +378,7 @@ def _emit_level_edges(
     backend: Optional[str],
     tracker: PramTracker,
     out: _Collector,
+    workers: Optional[int] = 1,
 ) -> None:
     """Star and clique edges for one level, as vectorized label passes.
 
@@ -409,6 +429,7 @@ def _emit_level_edges(
                 weights=w_int if use_int else None,
                 tracker=tracker,
                 backend=backend,
+                workers=workers,
             )
             mats.append(_dist_matrix_to_float(res.dist))
         D = mats[0] if len(mats) == 1 else np.vstack(mats)
@@ -449,6 +470,7 @@ def _build_level_sync(
     out: _Collector,
     star_weights: str = "tree",
     backend: Optional[str] = None,
+    workers: Optional[int] = 1,
 ) -> None:
     """Level-synchronous execution of Algorithm 4 (the batched strategy).
 
@@ -485,7 +507,8 @@ def _build_level_sync(
             [sample_shifts(int(sz), beta, r) for sz, r in zip(gsizes, rngs)]
         )
         clustering = est_cluster_forest(
-            union, beta, ptr, shifts, method=method, tracker=tracker, backend=backend
+            union, beta, ptr, shifts, method=method, tracker=tracker,
+            backend=backend, workers=workers,
         )
         sizes = clustering.sizes
         centers = clustering.centers
@@ -523,6 +546,7 @@ def _build_level_sync(
                 backend,
                 tracker,
                 out,
+                workers=workers,
             )
             recurse_mask = ~large_mask
             # index of each small cluster among its subproblem's smalls
@@ -560,6 +584,7 @@ def build_hopset(
     tracker: Optional[PramTracker] = None,
     backend: Optional[str] = None,
     strategy: str = "batched",
+    workers: Optional[int] = 1,
 ) -> HopsetResult:
     """Run Algorithm 4 on ``g`` and return the hopset.
 
@@ -588,6 +613,13 @@ def build_hopset(
         ``"recursive"`` is the original depth-first oracle.  Both
         produce identical edge sets for a fixed seed; ``batched`` is
         the fast path (see ``BENCH_hopset.json``).
+    workers:
+        Multicore knob for every *weighted engine* search inside the
+        build — the per-level EST races and the Line-9 center
+        searches (``1`` = serial, ``None`` = all cores, as in
+        :func:`repro.paths.engine.shortest_paths`; unweighted BFS
+        races don't go through the bucket kernels and stay serial).
+        Hopset output is identical for every value.
 
     Works on unweighted and (positive-) weighted graphs alike; the
     Section 5 pipeline calls this on rounded integer graphs.
@@ -612,6 +644,7 @@ def build_hopset(
                 out,
                 star_weights=star_weights,
                 backend=backend,
+                workers=workers,
             )
         else:
             _recurse(
@@ -627,6 +660,7 @@ def build_hopset(
                 out,
                 star_weights=star_weights,
                 backend=backend,
+                workers=workers,
             )
     meta = {
         "epsilon": params.epsilon,

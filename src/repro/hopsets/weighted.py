@@ -161,6 +161,7 @@ def build_weighted_hopset(
     backend: Optional[str] = None,
     strategy: str = "batched",
     rounding: bool = True,
+    workers: Optional[int] = 1,
 ) -> WeightedHopset:
     """Build per-scale hopsets for a positively weighted graph.
 
@@ -182,6 +183,9 @@ def build_weighted_hopset(
         Execution strategy for every inner Algorithm 4 build —
         ``"batched"`` (level-synchronous, default) or ``"recursive"``
         (the depth-first oracle); identical results per seed.
+    workers:
+        Multicore knob for every engine search inside the per-scale
+        builds, as in :func:`repro.hopsets.unweighted.build_hopset`.
     rounding:
         ``True`` (default) applies the Klein–Subramanian rounding of
         Lemma 5.2 before each per-scale build — the paper's route to
@@ -231,6 +235,7 @@ def build_weighted_hopset(
             tracker=child_tracker,
             backend=backend,
             strategy=strategy,
+            workers=workers,
         )
         scales.append(
             ScaleHopset(d=float(d), c=c, rounded=rounded, hopset=hs, kept_edges=int(keep.sum()))

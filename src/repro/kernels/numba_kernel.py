@@ -25,26 +25,41 @@ compiled scalar passes.  Two cores:
 Distances are computed in ``float64``; integer-weight callers get
 exact results for values below 2**53 (the engine converts back).
 
+Multicore batches: the batch wrappers route ``workers > 1`` requests
+through ``prange``-parallel cores (``_heap_sssp_batch_core`` /
+``_delta_sssp_batch_core``, compiled with ``parallel=True``) that
+execute the *runs* of a batch concurrently — the embarrassingly
+parallel axis.  Every run's scratch (heap / worklist / label arrays)
+is allocated inside its own ``prange`` iteration, so state is
+thread-private by construction and each run's output is the exact
+array the sequential wrapper would have produced — results and the
+reconstructed bucket ledger are bit-identical to ``workers=1``.
+
 Import is guarded: when numba is missing, ``HAVE_NUMBA`` is False and
 :func:`repro.kernels.resolve_backend` silently maps ``numba`` to
 ``numpy`` — nothing in the repo hard-requires the JIT toolchain.  The
-``njit`` stub below keeps both cores importable *and executable* as
-pure Python, so the algorithms stay testable even without the JIT
-(the registry never routes real traffic at them in that case).
+``njit`` stub below keeps all cores importable *and executable* as
+pure Python (``prange`` degrades to ``range``), so the algorithms stay
+testable even without the JIT (the registry never routes real traffic
+at them in that case).
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import List, Tuple
 
 import numpy as np
 
+from repro.parallel.pool import effective_workers
+
 try:  # pragma: no cover - exercised only where numba is installed
-    from numba import njit
+    from numba import njit, prange
 
     HAVE_NUMBA = True
 except ImportError:  # pragma: no cover
     HAVE_NUMBA = False
+    prange = range  # the stub cores stay executable, just sequential
 
     def njit(*args, **kwargs):  # type: ignore[misc]
         """Stub decorator so the module still imports without numba."""
@@ -55,6 +70,31 @@ except ImportError:  # pragma: no cover
         if args and callable(args[0]):
             return args[0]
         return wrap
+
+
+@contextmanager
+def _numba_thread_cap(nw: int):
+    """Clamp numba's thread-pool width to ``nw`` for one compiled call.
+
+    No-op without numba; with it, the cap never exceeds the layout
+    numba was launched with (``NUMBA_NUM_THREADS``) and the previous
+    setting is always restored.
+    """
+    if not HAVE_NUMBA:
+        yield
+        return
+    try:
+        import numba as _numba
+    except ImportError:  # HAVE_NUMBA monkeypatched to exercise the stubs
+        yield
+        return
+
+    prev = _numba.get_num_threads()
+    _numba.set_num_threads(max(1, min(nw, _numba.config.NUMBA_NUM_THREADS)))
+    try:
+        yield
+    finally:
+        _numba.set_num_threads(prev)
 
 
 @njit(cache=True)
@@ -367,6 +407,51 @@ def _delta_sssp_core(
     return dist, parent, owner, settled, arcs, buckets
 
 
+@njit(cache=True, parallel=True)
+def _heap_sssp_batch_core(
+    indptr, indices, weights, n, run_src, run_ptr, offsets, ranks, md,
+    dist, parent, owner, settled, arcs_out,
+):  # pragma: no cover - compiled path; covered via the pure-Python stub
+    k = run_ptr.shape[0] - 1
+    for r in prange(k):
+        lo = run_ptr[r]
+        hi = run_ptr[r + 1]
+        # the nested core allocates every scratch array (heap, labels)
+        # inside this iteration: thread-private state, bit-identical
+        # per-run output, disjoint destination slices
+        d, p, o, s, arcs = _heap_sssp_core(
+            indptr, indices, weights, n,
+            run_src[lo:hi], offsets[lo:hi], ranks[lo:hi], md,
+        )
+        dist[r * n : (r + 1) * n] = d
+        parent[r * n : (r + 1) * n] = p
+        owner[r * n : (r + 1) * n] = o
+        settled[r * n : (r + 1) * n] = s
+        arcs_out[r] = arcs
+
+
+@njit(cache=True, parallel=True)
+def _delta_sssp_batch_core(
+    l_indptr, l_indices, l_w, h_indptr, h_indices, h_w, n,
+    run_src, run_ptr, offsets, ranks, delta, md,
+    dist, parent, owner, settled, arcs_out, buckets_out,
+):  # pragma: no cover - compiled path; covered via the pure-Python stub
+    k = run_ptr.shape[0] - 1
+    for r in prange(k):
+        lo = run_ptr[r]
+        hi = run_ptr[r + 1]
+        d, p, o, s, arcs, nb = _delta_sssp_core(
+            l_indptr, l_indices, l_w, h_indptr, h_indices, h_w, n,
+            run_src[lo:hi], offsets[lo:hi], ranks[lo:hi], delta, md,
+        )
+        dist[r * n : (r + 1) * n] = d
+        parent[r * n : (r + 1) * n] = p
+        owner[r * n : (r + 1) * n] = o
+        settled[r * n : (r + 1) * n] = s
+        arcs_out[r] = arcs
+        buckets_out[r] = nb
+
+
 def bucket_sssp_numba(
     indptr: np.ndarray,
     indices: np.ndarray,
@@ -447,17 +532,21 @@ def bucket_sssp_batch_numba(
     delta,
     max_dist=None,
     light_heavy=None,
+    workers=1,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, List[int], List[int]]:
     """Batch counterpart of :func:`repro.kernels.numpy_kernel.bucket_sssp_batch`.
 
-    The compiled cores are inherently sequential per search, so the
-    batch executes run after run (each run a compiled pass — no
-    interpreter-per-edge cost) instead of sharing rounds; with
-    ``light_heavy`` each run goes through the delta-stepping core,
-    otherwise through the heap Dijkstra.  Results are identical; the
-    ledger reports total arcs as work and, as depth, one round per
-    bucket of the *longest* run — the parallel composition a PRAM
-    would see, matching the engine's batch accounting.
+    Each run is one compiled pass (no interpreter-per-edge cost): with
+    ``light_heavy`` through the delta-stepping core, otherwise through
+    the heap Dijkstra.  ``workers=1`` executes the runs one after
+    another; ``workers > 1`` (or ``None`` = all cores) dispatches them
+    through the ``prange``-parallel batch cores, capped at ``workers``
+    numba threads — per-run scratch is thread-private, so distances,
+    parents, owners *and* the reconstructed ledger are bit-identical
+    to the sequential schedule.  The ledger reports total arcs as work
+    and, as depth, one round per bucket of the *longest* run — the
+    parallel composition a PRAM would see, matching the engine's batch
+    accounting.
     """
     if not HAVE_NUMBA:
         raise RuntimeError("numba backend requested but numba is not installed")
@@ -482,25 +571,53 @@ def bucket_sssp_batch_numba(
     parent = np.empty(k * n, dtype=np.int64)
     owner = np.empty(k * n, dtype=np.int64)
     settled = np.empty(k * n, dtype=bool)
-    total_arcs = 0
-    max_buckets = 0
     md = -1.0 if max_dist is None else float(max_dist)
-    for r in range(k):
-        lo, hi = int(run_ptr[r]), int(run_ptr[r + 1])
+    nw = effective_workers(workers, oversubscribe=True)
+
+    if nw > 1 and k > 1:
+        arcs_out = np.zeros(k, dtype=np.int64)
         if light_heavy is not None:
-            d, p, o, s, arcs, nb = _delta_sssp_core(
-                lip, lidx, lw, hip, hidx, hw, n,
-                run_src[lo:hi], offsets[lo:hi], ranks[lo:hi], float(delta), md,
-            )
-            max_buckets = max(max_buckets, int(nb))
+            buckets_out = np.zeros(k, dtype=np.int64)
+            with _numba_thread_cap(nw):
+                _delta_sssp_batch_core(
+                    lip, lidx, lw, hip, hidx, hw, n,
+                    run_src, run_ptr, offsets, ranks, float(delta), md,
+                    dist, parent, owner, settled, arcs_out, buckets_out,
+                )
+            max_buckets = int(buckets_out.max()) if k else 0
         else:
-            d, p, o, s, arcs = _heap_sssp_core(
-                indptr, indices, w, n, run_src[lo:hi], offsets[lo:hi], ranks[lo:hi], md
-            )
-            max_buckets = max(max_buckets, count_occupied_buckets(d, s, delta))
-        sl = slice(r * n, (r + 1) * n)
-        dist[sl], parent[sl], owner[sl], settled[sl] = d, p, o, s
-        total_arcs += int(arcs)
+            with _numba_thread_cap(nw):
+                _heap_sssp_batch_core(
+                    indptr, indices, w, n, run_src, run_ptr, offsets, ranks, md,
+                    dist, parent, owner, settled, arcs_out,
+                )
+            max_buckets = 0
+            for r in range(k):
+                sl = slice(r * n, (r + 1) * n)
+                max_buckets = max(
+                    max_buckets, count_occupied_buckets(dist[sl], settled[sl], delta)
+                )
+        total_arcs = int(arcs_out.sum())
+    else:
+        total_arcs = 0
+        max_buckets = 0
+        for r in range(k):
+            lo, hi = int(run_ptr[r]), int(run_ptr[r + 1])
+            if light_heavy is not None:
+                d, p, o, s, arcs, nb = _delta_sssp_core(
+                    lip, lidx, lw, hip, hidx, hw, n,
+                    run_src[lo:hi], offsets[lo:hi], ranks[lo:hi], float(delta), md,
+                )
+                max_buckets = max(max_buckets, int(nb))
+            else:
+                d, p, o, s, arcs = _heap_sssp_core(
+                    indptr, indices, w, n,
+                    run_src[lo:hi], offsets[lo:hi], ranks[lo:hi], md,
+                )
+                max_buckets = max(max_buckets, count_occupied_buckets(d, s, delta))
+            sl = slice(r * n, (r + 1) * n)
+            dist[sl], parent[sl], owner[sl], settled[sl] = d, p, o, s
+            total_arcs += int(arcs)
     bucket_work = [total_arcs] + [0] * max(max_buckets - 1, 0) if max_buckets else []
     bucket_rounds = [1] * max_buckets
     return dist, parent, owner, settled, bucket_work, bucket_rounds

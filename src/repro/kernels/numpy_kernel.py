@@ -38,15 +38,39 @@ lexicographically smallest ``(candidate distance, owner rank, relaxing
 vertex)`` wins, where *rank* is the position of the owning source in
 the caller's source array (earlier entries win ties, matching the
 reference Dijkstra's documented tie rule).
+
+Threaded mode (``workers``)
+---------------------------
+With ``workers > 1`` each relaxation round shards its frontier into
+contiguous chunks (:func:`repro.parallel.chunking.shard_frontier`) and
+gathers candidate relaxations per shard on a ``ThreadPoolExecutor`` —
+numpy releases the GIL inside the large gather ops, so shards really
+run on separate cores.  Each shard claim-reduces its own candidates
+(min ``(candidate, rank, relaxing vertex)`` per claimed state) and the
+shard winners are merged by one more pass of the *same* minimum
+reduction.  Because that key is a strict total order per claimed state
+(two distinct arcs into a state never share their relaxing vertex),
+the two-level min equals the serial global min **bit for bit**, for
+any shard count — results are independent of ``workers`` and of how
+the frontier happened to be split.  All label writes stay on the
+coordinating thread; worker threads only read the pre-round snapshot.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from concurrent.futures import ThreadPoolExecutor
+from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.parallel.chunking import shard_frontier
+from repro.parallel.pool import effective_workers
+
 INT_INF = np.iinfo(np.int64).max
+
+# smallest frontier shard worth handing to a thread: below this the
+# submit/collect overhead beats the gather's GIL-released work
+PAR_MIN_SHARD = 2048
 
 
 def count_occupied_buckets(dist: np.ndarray, mask: np.ndarray, delta) -> int:
@@ -139,6 +163,7 @@ def bucket_sssp(
     delta,
     max_dist=None,
     light_heavy=None,
+    workers: Optional[int] = 1,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, List[int], List[int]]:
     """Multi-source bucket SSSP over raw CSR arrays.
 
@@ -159,6 +184,10 @@ def bucket_sssp(
         when given, buckets run the light-edge fixpoint loop plus one
         heavy settle pass (real-weight delta-stepping) instead of
         relaxing every arc each round.
+    workers:
+        Thread count for the sharded relaxation rounds (see the module
+        docstring); ``1`` (default) is fully serial, ``None`` uses all
+        cores.  Results are identical for every value.
 
     Returns ``(dist, parent, owner, settled, bucket_work,
     bucket_rounds)``: ``bucket_work[i]`` is the PRAM work (frontier
@@ -183,6 +212,7 @@ def bucket_sssp(
         delta,
         max_dist,
         light_heavy,
+        workers=workers,
     )
 
 
@@ -198,6 +228,7 @@ def bucket_sssp_batch(
     delta,
     max_dist=None,
     light_heavy=None,
+    workers: Optional[int] = 1,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, List[int], List[int]]:
     """Source-tagged batch of ``k`` independent bucket-SSSP runs.
 
@@ -223,7 +254,10 @@ def bucket_sssp_batch(
     ``light_heavy`` (a :func:`split_light_heavy` partition of the
     *shared* CSR at this ``delta``) switches buckets to the light-loop
     + heavy-pass schedule; composite ids index the split through
-    ``comp % n`` exactly like the full adjacency.
+    ``comp % n`` exactly like the full adjacency.  ``workers`` enables
+    the thread-sharded relaxation rounds of the module docstring —
+    per-run *and* batched frontiers shard the same way, and results
+    stay bit-identical for every worker count.
     """
     int_mode = (
         np.issubdtype(np.asarray(weights).dtype, np.integer)
@@ -254,43 +288,83 @@ def bucket_sssp_batch(
     w_const = None
     if weights.shape[0] and (weights == weights[0]).all():
         w_const = weights[0]
+    nw = effective_workers(workers, oversubscribe=True)
+    # the executor is created lazily on the first shardable frontier:
+    # batched builders issue many engine calls whose frontiers never
+    # reach the shard threshold, and those must not pay pool churn
+    pool: Optional[ThreadPoolExecutor] = None
 
-    def _relax_round(frontier, xip, xidx, xw):
-        """One claim-resolved relaxation of ``frontier`` over the
-        sub-adjacency ``(xip, xidx, xw)``.  Updates the label arrays in
-        place; returns ``(win_v, win_d, arcs)`` with ``win_v=None``
-        when nothing improved."""
-        vv = frontier if single else frontier % n
-        starts = xip[vv]
-        counts = xip[vv + 1] - starts
-        total = int(counts.sum())
-        if total == 0:
-            return None, None, 0
-        arc_off = np.repeat(np.cumsum(counts) - counts, counts)
-        arc_idx = (
-            np.arange(total, dtype=np.int64) - arc_off + np.repeat(starts, counts)
-        )
-        arc_src = np.repeat(frontier, counts)
-        if single:
-            nbr = xidx[arc_idx]
-        else:
-            nbr = np.repeat(frontier - vv, counts) + xidx[arc_idx]
-        cand = dist[arc_src] + xw[arc_idx]
-        improving = cand < dist[nbr]
-        if not improving.any():
-            return None, None, total
-        nbr = nbr[improving]
-        src = arc_src[improving]
-        cand = cand[improving]
-        # one winner per claimed state: min (cand, rank, src)
+    def _claim(nbr, src, cand):
+        """Min ``(cand, rank, src)`` reduction per claimed state: one
+        winner per distinct ``nbr``.  The key is a strict total order
+        within each state's claims, so applying this per shard and then
+        once more over the shard winners equals one global pass."""
         sel = np.lexsort((src, rank[src], cand, nbr))
         nbr_s, src_s, cand_s = nbr[sel], src[sel], cand[sel]
         first = np.empty(nbr_s.shape[0], dtype=bool)
         first[0] = True
         np.not_equal(nbr_s[1:], nbr_s[:-1], out=first[1:])
-        win_v = nbr_s[first]
-        win_p = src_s[first]
-        win_d = cand_s[first]
+        return nbr_s[first], src_s[first], cand_s[first]
+
+    def _gather_shard(shard, xip, xidx, xw, wc):
+        """Claim-reduced improving candidates out of one contiguous
+        frontier shard, against the pre-round label snapshot.  Pure
+        reads — the GIL-releasing half of a relaxation round."""
+        vv = shard if single else shard % n
+        starts = xip[vv]
+        counts = xip[vv + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            return None, None, None, 0
+        arc_off = np.repeat(np.cumsum(counts) - counts, counts)
+        arc_idx = (
+            np.arange(total, dtype=np.int64) - arc_off + np.repeat(starts, counts)
+        )
+        arc_src = np.repeat(shard, counts)
+        if single:
+            nbr = xidx[arc_idx]
+        else:
+            nbr = np.repeat(shard - vv, counts) + xidx[arc_idx]
+        if wc is not None:
+            cand = dist[arc_src] + wc
+        else:
+            cand = dist[arc_src] + xw[arc_idx]
+        improving = cand < dist[nbr]
+        if not improving.any():
+            return None, None, None, total
+        nbr, src, cand = _claim(nbr[improving], arc_src[improving], cand[improving])
+        return nbr, src, cand, total
+
+    def _relax_round(frontier, xip, xidx, xw, wc=None):
+        """One claim-resolved relaxation of ``frontier`` over the
+        sub-adjacency ``(xip, xidx, xw)``, sharded across the thread
+        pool when the frontier is big enough.  Updates the label arrays
+        in place; returns ``(win_v, win_d, arcs)`` with ``win_v=None``
+        when nothing improved."""
+        nonlocal pool
+        if nw > 1 and frontier.shape[0] >= 2 * PAR_MIN_SHARD:
+            if pool is None:
+                pool = ThreadPoolExecutor(max_workers=nw)
+            shards = shard_frontier(frontier, nw, PAR_MIN_SHARD)
+            parts = list(
+                pool.map(lambda s: _gather_shard(s, xip, xidx, xw, wc), shards)
+            )
+            total = sum(p[3] for p in parts)
+            kept = [p for p in parts if p[0] is not None]
+            if not kept:
+                return None, None, total
+            if len(kept) == 1:
+                win_v, win_p, win_d = kept[0][:3]
+            else:
+                win_v, win_p, win_d = _claim(
+                    np.concatenate([p[0] for p in kept]),
+                    np.concatenate([p[1] for p in kept]),
+                    np.concatenate([p[2] for p in kept]),
+                )
+        else:
+            win_v, win_p, win_d, total = _gather_shard(frontier, xip, xidx, xw, wc)
+            if win_v is None:
+                return None, None, total
         dist[win_v] = win_d
         parent[win_v] = win_p if single else win_p % n
         owner[win_v] = owner[win_p]
@@ -316,44 +390,77 @@ def bucket_sssp_batch(
         rank[cs] = rk_s
         pending.append(cs)
 
-    while pending:
-        if len(pending) == 1:
-            # single pending array: already duplicate-free (winner
-            # masks and seed dedup guarantee it), skip the hash pass
-            pool = pending[0]
-        else:
-            pool = np.unique(np.concatenate(pending))
-        pending = []
-        pool = pool[~settled[pool]]
-        if pool.shape[0] == 0:
-            continue
-        d_pool = dist[pool]
-        d_min = d_pool.min()
-        if max_dist is not None and d_min > max_dist:
-            pending.append(pool)  # preserved for the caller's cleanup
-            break
-        hi = (d_min // delta) * delta + delta
-        if hi <= d_min:
-            # float roundoff at extreme d_min/delta ratios can make the
-            # nominal bucket top collapse onto d_min; degrade to a
-            # single-value bucket so the frontier is never empty
-            hi = np.nextafter(d_min, np.inf)
-        in_bucket = d_pool < hi
-        frontier = pool[in_bucket]
-        if not in_bucket.all():
-            pending.append(pool[~in_bucket])
+    try:
+        while pending:
+            if len(pending) == 1:
+                # single pending array: already duplicate-free (winner
+                # masks and seed dedup guarantee it), skip the hash pass
+                pend = pending[0]
+            else:
+                pend = np.unique(np.concatenate(pending))
+            pending = []
+            pend = pend[~settled[pend]]
+            if pend.shape[0] == 0:
+                continue
+            d_pend = dist[pend]
+            d_min = d_pend.min()
+            if max_dist is not None and d_min > max_dist:
+                pending.append(pend)  # preserved for the caller's cleanup
+                break
+            hi = (d_min // delta) * delta + delta
+            if hi <= d_min:
+                # float roundoff at extreme d_min/delta ratios can make the
+                # nominal bucket top collapse onto d_min; degrade to a
+                # single-value bucket so the frontier is never empty
+                hi = np.nextafter(d_min, np.inf)
+            in_bucket = d_pend < hi
+            frontier = pend[in_bucket]
+            if not in_bucket.all():
+                pending.append(pend[~in_bucket])
 
-        if light_heavy is not None:
-            # real-weight delta-stepping: light fixpoint + one heavy pass
-            lip, lidx, lw, hip, hidx, hw = light_heavy
+            if light_heavy is not None:
+                # real-weight delta-stepping: light fixpoint + one heavy pass
+                lip, lidx, lw, hip, hidx, hw = light_heavy
+                work = 0
+                rounds = 0
+                member_chunks: List[np.ndarray] = []
+                while frontier.shape[0]:
+                    rounds += 1
+                    settled[frontier] = True
+                    member_chunks.append(frontier)
+                    win_v, win_d, arcs = _relax_round(frontier, lip, lidx, lw)
+                    work += max(arcs, int(frontier.shape[0]))
+                    if win_v is None:
+                        break
+                    stay = win_d < hi  # improved into this bucket: re-relax now
+                    frontier = win_v[stay]
+                    if not stay.all():
+                        pending.append(win_v[~stay])
+                members = (
+                    member_chunks[0]
+                    if len(member_chunks) == 1
+                    else np.unique(np.concatenate(member_chunks))
+                )
+                if members.shape[0]:
+                    # heavy candidates land at >= hi, so one pass settles
+                    # the bucket's heavy arcs for good
+                    rounds += 1
+                    win_v, win_d, arcs = _relax_round(members, hip, hidx, hw)
+                    work += max(arcs, int(members.shape[0]))
+                    if win_v is not None:
+                        pending.append(win_v)
+                bucket_work.append(work)
+                bucket_rounds.append(rounds)
+                continue
+
             work = 0
             rounds = 0
-            member_chunks: List[np.ndarray] = []
             while frontier.shape[0]:
                 rounds += 1
                 settled[frontier] = True
-                member_chunks.append(frontier)
-                win_v, win_d, arcs = _relax_round(frontier, lip, lidx, lw)
+                win_v, win_d, arcs = _relax_round(
+                    frontier, indptr, indices, weights, w_const
+                )
                 work += max(arcs, int(frontier.shape[0]))
                 if win_v is None:
                     break
@@ -361,72 +468,10 @@ def bucket_sssp_batch(
                 frontier = win_v[stay]
                 if not stay.all():
                     pending.append(win_v[~stay])
-            members = (
-                member_chunks[0]
-                if len(member_chunks) == 1
-                else np.unique(np.concatenate(member_chunks))
-            )
-            if members.shape[0]:
-                # heavy candidates land at >= hi, so one pass settles
-                # the bucket's heavy arcs for good
-                rounds += 1
-                win_v, win_d, arcs = _relax_round(members, hip, hidx, hw)
-                work += max(arcs, int(members.shape[0]))
-                if win_v is not None:
-                    pending.append(win_v)
             bucket_work.append(work)
             bucket_rounds.append(rounds)
-            continue
-
-        work = 0
-        rounds = 0
-        while frontier.shape[0]:
-            rounds += 1
-            settled[frontier] = True
-            vv = frontier if single else frontier % n
-            starts = indptr[vv]
-            counts = indptr[vv + 1] - starts
-            total = int(counts.sum())
-            work += max(total, int(frontier.shape[0]))
-            if total == 0:
-                break
-            arc_off = np.repeat(np.cumsum(counts) - counts, counts)
-            arc_idx = (
-                np.arange(total, dtype=np.int64) - arc_off + np.repeat(starts, counts)
-            )
-            arc_src = np.repeat(frontier, counts)
-            if single:
-                nbr = indices[arc_idx]
-            else:
-                nbr = np.repeat(frontier - vv, counts) + indices[arc_idx]
-            if w_const is not None:
-                cand = dist[arc_src] + w_const
-            else:
-                cand = dist[arc_src] + weights[arc_idx]
-            improving = cand < dist[nbr]
-            if not improving.any():
-                break
-            nbr = nbr[improving]
-            src = arc_src[improving]
-            cand = cand[improving]
-            # one winner per claimed state: min (cand, rank, src)
-            sel = np.lexsort((src, rank[src], cand, nbr))
-            nbr_s, src_s, cand_s = nbr[sel], src[sel], cand[sel]
-            first = np.empty(nbr_s.shape[0], dtype=bool)
-            first[0] = True
-            np.not_equal(nbr_s[1:], nbr_s[:-1], out=first[1:])
-            win_v = nbr_s[first]
-            win_p = src_s[first]
-            win_d = cand_s[first]
-            dist[win_v] = win_d
-            parent[win_v] = win_p if single else win_p % n
-            owner[win_v] = owner[win_p]
-            rank[win_v] = rank[win_p]
-            stay = win_d < hi  # improved into this bucket: re-relax now
-            frontier = win_v[stay]
-            if not stay.all():
-                pending.append(win_v[~stay])
-        bucket_work.append(work)
-        bucket_rounds.append(rounds)
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=False)
 
     return dist, parent, owner, settled, bucket_work, bucket_rounds

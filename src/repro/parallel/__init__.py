@@ -1,15 +1,32 @@
-"""Real (OS-level) parallel execution helpers.
+"""Parallel execution helpers (process pools, thread shards).
 
-CPython's GIL prevents shared-memory PRAM-style threading for CPU-bound
-kernels, so the only real parallelism available is process-based.  The
-algorithms in this package are written against the PRAM *cost model*
-(:mod:`repro.pram`); this subpackage additionally offers a process-pool
-map for the embarrassingly parallel outer loops (independent BFS
-sources, independent weight-scale hopsets, benchmark repetitions) with
-a serial fallback when only one core is available.
+The algorithms in this package are written against the PRAM *cost
+model* (:mod:`repro.pram`); this subpackage offers the real-hardware
+execution helpers behind them:
+
+* :func:`parallel_map` — a process-pool map for embarrassingly
+  parallel outer loops (independent BFS sources, independent
+  weight-scale hopsets, benchmark repetitions) with a serial fallback
+  when only one core is available or the input is too small.
+* :func:`shard_frontier` / :func:`split_indices` / :func:`block_ranges`
+  — contiguous block decompositions.  The bucket engine's threaded
+  numpy mode shards each relaxation frontier with
+  :func:`shard_frontier` and relaxes the shards on a thread pool:
+  numpy releases the GIL inside the big gather/scatter ops, so threads
+  give genuine multicore throughput there even though pure-Python
+  loops would not.
+* :func:`effective_workers` — the single source of truth mapping a
+  requested ``workers`` value to the worker count actually used
+  (``None`` means "all cores"; results are clamped to the machine).
 """
 
 from repro.parallel.pool import parallel_map, effective_workers
-from repro.parallel.chunking import split_indices, block_ranges
+from repro.parallel.chunking import split_indices, block_ranges, shard_frontier
 
-__all__ = ["parallel_map", "effective_workers", "split_indices", "block_ranges"]
+__all__ = [
+    "parallel_map",
+    "effective_workers",
+    "split_indices",
+    "block_ranges",
+    "shard_frontier",
+]

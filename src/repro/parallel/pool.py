@@ -16,16 +16,31 @@ T = TypeVar("T")
 R = TypeVar("R")
 
 
-def effective_workers(requested: Optional[int] = None) -> int:
-    """Number of worker processes to actually use.
+# ceiling for explicitly requested thread oversubscription — a typo'd
+# ``workers=10**6`` must not allocate a million-thread pool
+_MAX_OVERSUBSCRIBED = 64
+
+
+def effective_workers(
+    requested: Optional[int] = None, oversubscribe: bool = False
+) -> int:
+    """Number of workers to actually use — the single source of truth
+    behind every ``workers=`` knob in the repo.
 
     ``None`` means "use all cores"; the result is clamped to
     ``os.cpu_count()`` and is 1 on single-core machines, which makes
-    :func:`parallel_map` fall back to a plain loop.
+    :func:`parallel_map` fall back to a plain loop.  With
+    ``oversubscribe=True`` (thread-pool callers: threads are cheap and
+    GIL-released numpy work interleaves fine) an *explicit* request may
+    exceed the core count — the bucket kernels use this so a requested
+    worker count behaves identically on every machine, which is also
+    what lets single-core CI exercise the sharded code path.
     """
     avail = os.cpu_count() or 1
     if requested is None:
         return avail
+    if oversubscribe:
+        return max(1, min(requested, _MAX_OVERSUBSCRIBED))
     return max(1, min(requested, avail))
 
 
@@ -38,12 +53,22 @@ def parallel_map(
     """Apply ``fn`` to every item, fanning out to processes when useful.
 
     Serial execution is chosen when (a) one worker is effective, or
-    (b) the item count is too small to amortize process startup.  The
-    function must be picklable (module-level) for the parallel path;
-    the serial path has no such restriction, so tests exercise both.
+    (b) the item count is too small to keep the *effective* worker
+    count busy (``min_items_per_worker`` items each) — a 16-core box
+    must not spin up a full process pool for a handful of items.  The
+    corollary: on a many-core machine a mid-size batch of *expensive*
+    items should pass a smaller ``min_items_per_worker`` (1 forks as
+    soon as every worker can get one item); the default trades those
+    forks away because pickling + fork overhead usually loses on
+    cheap items.  The function must be picklable (module-level) for
+    the parallel path; the serial path has no such restriction, so
+    tests exercise both.
     """
     n = effective_workers(workers)
-    if n <= 1 or len(items) < min_items_per_worker * 2:
+    if n <= 1 or len(items) < min_items_per_worker * n:
+        # the guard scales with the effective worker count, so past it
+        # every one of the n workers is guaranteed a full chunk
         return [fn(x) for x in items]
+    chunksize = -(-len(items) // n)  # ceil: one contiguous chunk per worker
     with ProcessPoolExecutor(max_workers=n) as ex:
-        return list(ex.map(fn, items))
+        return list(ex.map(fn, items, chunksize=chunksize))

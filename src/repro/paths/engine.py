@@ -73,6 +73,22 @@ numpy kernel the tracker sees every light iteration and the heavy
 pass as separate relaxation rounds (sequential backends reconstruct
 one round per bucket, as they always have).
 
+Multicore execution (``workers=``)
+----------------------------------
+Every entry point takes a ``workers`` knob (``1`` = serial — the
+default, ``None`` = all cores, any other value an explicit thread
+count; :func:`repro.parallel.pool.effective_workers` is the single
+source of truth for the resolution).  On the numpy kernel each
+relaxation round shards its frontier into contiguous chunks relaxed on
+a thread pool (numpy releases the GIL in the gathers) and merges the
+shard claims with the same minimum reduction the serial schedule uses,
+so results are **bit-identical** for every worker count.  On the numba
+kernel the batch wrapper routes ``workers > 1`` through
+``prange``-parallel compiled cores that execute the batch's runs
+concurrently with thread-private scratch — again bit-identical.  The
+PRAM ledger is unaffected: hardware threads change wall-clock, not the
+round/work accounting.
+
 Bucket/round <-> PRAM accounting
 --------------------------------
 One relaxation round = one CRCW PRAM round (every frontier arc relaxes
@@ -160,6 +176,7 @@ def shortest_paths(
     backend: Optional[str] = None,
     max_dist: Optional[float] = None,
     tracker: Optional[PramTracker] = None,
+    workers: Optional[int] = 1,
 ) -> ShortestPathResult:
     """Exact multi-source shortest paths with optional start offsets.
 
@@ -167,6 +184,15 @@ def shortest_paths(
     equivalent to the reference Dijkstra: ``dist[v]`` is
     ``min_i offsets[i] + d(sources[i], v)`` and ``owner[v]`` the
     arg-min source vertex.
+
+    ``workers`` enables the multicore execution layer: on the numpy
+    kernel each relaxation round shards its frontier across a thread
+    pool (``1`` = serial, ``None`` = all cores;
+    :func:`repro.parallel.pool.effective_workers` resolves the count).
+    Results are bit-identical for every value.  The numba backend's
+    single-run cores are sequential — its run-level ``prange``
+    parallelism lives in :func:`shortest_paths_batch` — and the
+    reference oracle always runs serially.
     """
     tracker = tracker or null_tracker()
     sources = np.atleast_1d(np.asarray(sources, dtype=np.int64))
@@ -196,7 +222,7 @@ def shortest_paths(
     else:
         dist, parent, owner, settled, bucket_work, bucket_rounds = bucket_sssp(
             g.indptr, g.indices, w, g.n, sources, offsets, ranks, delta, max_dist,
-            light_heavy=split,
+            light_heavy=split, workers=workers,
         )
 
     if max_dist is not None:
@@ -304,6 +330,7 @@ def shortest_paths_batch(
     backend: Optional[str] = None,
     max_dist: Optional[float] = None,
     tracker: Optional[PramTracker] = None,
+    workers: Optional[int] = 1,
 ) -> BatchShortestPathResult:
     """Run ``k`` independent shortest-path searches as one batch.
 
@@ -316,12 +343,22 @@ def shortest_paths_batch(
     offsets:
         Start times mirroring the shape of ``sources``; defaults to
         integer zeros so integer weights still select Dial mode.
+    workers:
+        Multicore knob (``1`` = serial, ``None`` = all cores): the
+        numpy kernel shards the shared frontier per relaxation round;
+        the numba kernel dispatches the batch's runs through its
+        ``prange``-parallel cores.  Both are bit-identical to
+        ``workers=1``.
 
     Every run's results match a standalone :func:`shortest_paths` call
     with the same sources/offsets (distances bit-for-bit; forest
     parents may differ on exact ties because the shared schedule
     interleaves buckets differently).  See the module docstring for
     the sharing and accounting story.
+
+    A degenerate batch — zero runs, or runs whose sources never settle
+    anything — charges the tracker nothing (0 work, 0 rounds) and
+    still returns correctly shaped ``(k, n)`` all-unreached matrices.
     """
     tracker = tracker or null_tracker()
     run_src, run_ptr, offs = _normalize_runs(sources, offsets)
@@ -329,6 +366,21 @@ def shortest_paths_batch(
     w, int_mode, delta = _resolve_weights_and_delta(g, weights, offs, delta)
 
     name = resolve_backend(backend or _DEFAULT_BACKEND)
+    if k == 0:
+        # zero runs: nothing to schedule on any backend — shape the
+        # empty (0, n) result here instead of tripping the kernels'
+        # frontier loops, and charge the tracker nothing
+        return BatchShortestPathResult(
+            dist=np.full((0, g.n), INT_INF if int_mode else np.inf,
+                         dtype=np.int64 if int_mode else np.float64),
+            parent=np.full((0, g.n), -1, dtype=np.int64),
+            owner=np.full((0, g.n), -1, dtype=np.int64),
+            buckets=0,
+            relax_rounds=0,
+            arcs_relaxed=0,
+            backend=name,
+            delta=float(delta),
+        )
     if run_src.shape[0]:
         run_of = np.repeat(np.arange(k, dtype=np.int64), np.diff(run_ptr))
         ranks = np.arange(run_src.shape[0], dtype=np.int64) - run_ptr[run_of]
@@ -339,7 +391,7 @@ def shortest_paths_batch(
         split = _resolve_split(g, weights, w, delta, int_mode)
         dist, parent, owner, settled, bucket_work, bucket_rounds = bucket_sssp_batch(
             g.indptr, g.indices, w, g.n, run_src, run_ptr, offs, ranks, delta,
-            max_dist, light_heavy=split,
+            max_dist, light_heavy=split, workers=workers,
         )
         buckets = len(bucket_work)
     elif name == "numba":
@@ -357,6 +409,7 @@ def shortest_paths_batch(
                 delta,
                 max_dist,
                 light_heavy=split,
+                workers=workers,
             )
         )
         if int_mode:

@@ -35,6 +35,7 @@ def dial_sssp(
     max_dist: Optional[int] = None,
     tracker: Optional[PramTracker] = None,
     backend: Optional[str] = None,
+    workers: Optional[int] = 1,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int]:
     """Multi-source SSSP on integer weights by bucketed level sweeps.
 
@@ -51,6 +52,9 @@ def dial_sssp(
         Stop once the sweep level exceeds this (distances beyond stay INF).
     backend:
         Kernel choice, as in :func:`repro.paths.engine.shortest_paths`.
+    workers:
+        Multicore knob forwarded to the engine (``1`` = serial,
+        ``None`` = all cores); results are identical for every value.
 
     Returns ``(dist, parent, owner, levels)``; ``levels`` is the number
     of distance levels swept, i.e. the PRAM depth in rounds.
@@ -80,6 +84,7 @@ def dial_sssp(
         max_dist=max_dist,
         backend=backend,
         tracker=tracker,
+        workers=workers,
     )
     return res.dist, res.parent, res.owner, res.buckets
 
@@ -90,6 +95,7 @@ def weighted_bfs_with_start_times(
     weights_int: Optional[np.ndarray] = None,
     tracker: Optional[PramTracker] = None,
     backend: Optional[str] = None,
+    workers: Optional[int] = 1,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int]:
     """Race all vertices with integer start offsets over integer weights.
 
@@ -106,4 +112,5 @@ def weighted_bfs_with_start_times(
         offsets=np.asarray(start_time, dtype=np.int64),
         tracker=tracker,
         backend=backend,
+        workers=workers,
     )

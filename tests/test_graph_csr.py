@@ -102,3 +102,35 @@ class TestBuildCsrValidation:
 
     def test_repr_mentions_size(self, triangle):
         assert "n=3" in repr(triangle)
+
+
+class TestLightHeavySplitMemo:
+    """The per-delta split cache evicts least-recently-used: a burst of
+    ad-hoc widths must never push out the hot default width."""
+
+    def _weighted(self):
+        g = from_edges(4, [(0, 1), (1, 2), (2, 3)], weights=[0.5, 2.0, 7.0])
+        return g
+
+    def test_default_delta_survives_cache_pressure(self):
+        g = self._weighted()
+        default = g.suggest_delta()
+        hot = g.light_heavy_split(default)
+        # flood the memo well past its bound, re-touching the default
+        # width between bursts (the engine's access pattern mid-run)
+        for i in range(30):
+            g.light_heavy_split(100.0 + i)
+            assert g.light_heavy_split(default) is hot
+
+    def test_untouched_widths_are_evicted(self):
+        g = self._weighted()
+        first = g.light_heavy_split(50.0)
+        for i in range(20):  # never touch 50.0 again
+            g.light_heavy_split(200.0 + i)
+        assert g.light_heavy_split(50.0) is not first
+
+    def test_cache_stays_bounded(self):
+        g = self._weighted()
+        for i in range(40):
+            g.light_heavy_split(1.0 + i)
+        assert len(g.__dict__["_lh_cache"]) <= 8
