@@ -21,7 +21,7 @@ library registry (which degrades ``numba`` to ``numpy`` with a warning
 when the JIT toolchain is missing), an explicit CLI request for an
 unavailable backend is an error — the user asked for it by name.
 
-``sssp`` and ``hopset`` also accept ``--workers N`` — the engine's
+``sssp``, ``hopset``, and ``spanner`` also accept ``--workers N`` — the engine's
 multicore knob (``1`` = serial, the default; ``0`` or negative = all
 cores; see :func:`repro.parallel.pool.effective_workers`).  Worker
 count changes wall-clock only: results are bit-identical.
@@ -116,10 +116,17 @@ def cmd_spanner(args) -> int:
 
     g = _load_graph(args)
     t = PramTracker(n=g.n)
+    workers = _workers_from_args(args)
     if g.is_unweighted:
-        sp = unweighted_spanner(g, args.k, seed=args.seed, tracker=t)
+        sp = unweighted_spanner(
+            g, args.k, seed=args.seed, tracker=t, backend=args.backend,
+            workers=workers,
+        )
     else:
-        sp = weighted_spanner(g, args.k, seed=args.seed, tracker=t, backend=args.backend)
+        sp = weighted_spanner(
+            g, args.k, seed=args.seed, tracker=t, backend=args.backend,
+            strategy=args.strategy, workers=workers,
+        )
     stretch = max_edge_stretch(g, sp, sample_edges=min(g.m, 2000), seed=1)
     print(f"graph: n={g.n} m={g.m} {'unweighted' if g.is_unweighted else 'weighted'}")
     print(f"spanner: {sp.size} edges ({100 * sp.size / max(g.m, 1):.1f}% kept)")
@@ -261,8 +268,16 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("spanner", help="build a spanner")
     _add_io_args(p)
     _add_backend_arg(p)
+    _add_workers_arg(p)
     p.add_argument("-k", type=float, default=3.0, help="stretch parameter")
     p.add_argument("-o", "--output", help="write the spanner edge list here")
+    p.add_argument(
+        "--strategy",
+        choices=["batched", "recursive"],
+        default="batched",
+        help="weighted builder: level-synchronous batched (default) or the "
+        "sequential per-group oracle; identical edge sets per seed",
+    )
     p.set_defaults(fn=cmd_spanner)
 
     p = sub.add_parser("hopset", help="build a hopset (and query)")

@@ -66,8 +66,21 @@ class Clustering:
 
     @cached_property
     def centers(self) -> np.ndarray:
-        """Sorted unique center vertex ids."""
-        return np.unique(self.center)
+        """Sorted unique center vertex ids.
+
+        Centers are vertex ids in ``[0, n)``, so a presence bitmap +
+        ``flatnonzero`` beats a hash/sort ``np.unique`` — this runs once
+        per clustering and the spanner builders hit it every level.
+        ``est_cluster`` owns every vertex, but a hand-built Clustering
+        may carry ``-1`` owners; those keep the old ``np.unique``
+        semantics (``-1`` is its own cluster) instead of silently
+        wrapping the bitmap index.
+        """
+        if self.center.size and self.center.min() < 0:
+            return np.unique(self.center)
+        seen = np.zeros(self.n, dtype=bool)
+        seen[self.center] = True
+        return np.flatnonzero(seen)
 
     @property
     def num_clusters(self) -> int:
@@ -76,8 +89,13 @@ class Clustering:
     @cached_property
     def labels(self) -> np.ndarray:
         """Compact cluster labels in [0, num_clusters)."""
-        _, lab = np.unique(self.center, return_inverse=True)
-        return lab.astype(np.int64)
+        centers = self.centers
+        if centers.size and centers[0] < 0:
+            # negative owners: rank via bisection on the sorted centers
+            return np.searchsorted(centers, self.center).astype(np.int64)
+        rank = np.empty(self.n, dtype=np.int64)
+        rank[centers] = np.arange(self.num_clusters, dtype=np.int64)
+        return rank[self.center]
 
     @cached_property
     def sizes(self) -> np.ndarray:
@@ -129,6 +147,35 @@ class Clustering:
         radii = np.zeros(self.num_clusters, dtype=np.float64)
         np.maximum.at(radii, self.labels, self.dist_to_center)
         return radii
+
+
+def _canonical_tree_parents(
+    g: CSRGraph, dist: np.ndarray, parent: np.ndarray, owner: np.ndarray
+) -> np.ndarray:
+    """Backend-independent forest parents for an exact-race result.
+
+    The engine guarantees identical ``dist``/``owner`` across kernels,
+    but ``parent`` is only pinned when shortest paths are unique —
+    equal-length claims (ubiquitous on the spanners' uniform-weight
+    quotient graphs) are broken by kernel-internal schedule order.
+    This pass re-picks every non-root parent as the *smallest* vertex
+    certifying the label, i.e. ``min { p : dist[p] + w(p, v) == dist[v]
+    and owner[p] == owner[v] }`` — the race's own parent is always a
+    candidate, candidates strictly decrease ``dist`` (weights are
+    positive), and owners are constant along the chain, so the result
+    is a valid cluster forest with the same tree distances and a
+    kernel-independent shape.  Cross-backend spanner equality builds
+    on this.
+    """
+    if g.num_arcs == 0:
+        return parent
+    src = g.arc_sources()
+    dst = g.indices
+    ok = (parent[dst] >= 0) & (owner[src] == owner[dst])
+    ok &= dist[src] + g.weights == dist[dst]
+    out = parent.copy()
+    np.minimum.at(out, dst[ok], src[ok])
+    return out
 
 
 def est_cluster(
@@ -190,7 +237,8 @@ def est_cluster(
                 g, np.arange(n), offsets=start_real, tracker=tracker,
                 backend=backend, workers=workers,
             )
-            dist, parent, owner = res.dist, res.parent, res.owner
+            dist, owner = res.dist, res.owner
+            parent = _canonical_tree_parents(g, dist, res.parent, owner)
         dist_to_center = dist - start_real[owner]
         rounds = 0
     else:
@@ -291,13 +339,18 @@ def est_cluster_forest(
 ) -> Clustering:
     """EST-cluster every block of a block-diagonal union in one race.
 
-    ``g`` is a :class:`~repro.graph.builders.SubgraphForest` graph:
-    group ``j`` occupies the contiguous vertex range
+    ``g`` is a block-diagonal union (a
+    :class:`~repro.graph.builders.SubgraphForest` graph or a
+    :class:`~repro.graph.quotient.QuotientForestResult` graph): group
+    ``j`` occupies the contiguous vertex range
     ``[group_ptr[j], group_ptr[j+1])`` and no edge crosses groups.
     Because waves can never leave a block, racing all blocks together
     is *equivalent* to clustering each block separately — but costs one
-    engine schedule instead of one per block.  This is the
-    level-synchronous hopset builder's per-level clustering call.
+    engine schedule instead of one per block.  This is the per-level
+    clustering call of both the level-synchronous hopset builder and
+    the level-synchronous weighted spanner (whose uniform-weight
+    quotient blocks all race on the BFS engine under ``round``/
+    ``auto``).
 
     Equivalence with per-block :func:`est_cluster` — called the way the
     hopset builder calls it, i.e. with the method pre-resolved by
@@ -395,8 +448,9 @@ def est_cluster_forest(
                     g, verts, offsets=start_real[verts], tracker=tracker,
                     backend=backend, workers=workers,
                 )
+            par = _canonical_tree_parents(g, res.dist, res.parent, res.owner)
             center[verts] = res.owner[verts]
-            parent[verts] = res.parent[verts]
+            parent[verts] = par[verts]
             dist_to_center[verts] = res.dist[verts] - start_real[res.owner[verts]]
 
     return Clustering(

@@ -18,7 +18,12 @@ from repro.graph.builders import (
     relabel_compact,
 )
 from repro.graph.unionfind import UnionFind
-from repro.graph.quotient import quotient_graph, QuotientResult
+from repro.graph.quotient import (
+    quotient_graph,
+    quotient_forest,
+    QuotientResult,
+    QuotientForestResult,
+)
 from repro.graph.components import connected_components, is_connected, largest_component
 from repro.graph.parallel_connectivity import parallel_connectivity, edges_decay_trajectory
 from repro.graph.metrics import (
@@ -54,7 +59,9 @@ __all__ = [
     "relabel_compact",
     "UnionFind",
     "quotient_graph",
+    "quotient_forest",
     "QuotientResult",
+    "QuotientForestResult",
     "connected_components",
     "is_connected",
     "largest_component",

@@ -63,14 +63,54 @@ class UnionFind:
     def union_edges(self, us: np.ndarray, vs: np.ndarray) -> int:
         """Union every pair ``(us[i], vs[i])``; return number of merges.
 
-        Bulk unions are applied with a sequential sweep over the (short)
-        edge array after vectorized root resolution — unions are
-        inherently sequential, but each is O(α(n)).
+        Fully vectorized hooking: each pass resolves roots, canonically
+        orients every still-live pair as ``(lo, hi)``, and hooks each
+        distinct ``hi`` root onto its smallest partner (``lo < hi``
+        strictly, so a pass can never create a cycle; chains collapse
+        through the next pass's path compression).  Every pass merges
+        each live ``hi`` root exactly once, so the pass count is
+        logarithmic in the contracted component count — the spanner's
+        per-level forest contractions (hundreds of thousands of edges)
+        were the dominant profile cost under the old per-edge sweep.
+        Root sizes are rebuilt exactly for every touched component from
+        the pre-call root sizes.
         """
+        a = self.find_many(us)
+        b = self.find_many(vs)
+        if a.size == 0:
+            return 0
+        if 16 * a.size < self.parent.shape[0]:
+            r0 = np.unique(np.concatenate([a, b]))
+        else:
+            seen = np.zeros(self.parent.shape[0], dtype=bool)
+            seen[a] = True
+            seen[b] = True
+            r0 = np.flatnonzero(seen)
+        pre_sizes = self.size[r0].copy()
+        p = self.parent
         merged = 0
-        for a, b in zip(self.find_many(us), self.find_many(vs)):
-            if self.union(int(a), int(b)):
-                merged += 1
+        while True:
+            live = a != b
+            if not live.any():
+                break
+            lo = np.minimum(a[live], b[live])
+            hi = np.maximum(a[live], b[live])
+            order = np.lexsort((lo, hi))
+            hi_s, lo_s = hi[order], lo[order]
+            first = np.empty(hi_s.shape[0], dtype=bool)
+            first[0] = True
+            np.not_equal(hi_s[1:], hi_s[:-1], out=first[1:])
+            p[hi_s[first]] = lo_s[first]
+            merged += int(first.sum())
+            a = self.find_many(a)
+            b = self.find_many(b)
+        if merged:
+            roots = self.find_many(r0)
+            uniq, inv = np.unique(roots, return_inverse=True)
+            totals = np.zeros(uniq.shape[0], dtype=np.int64)
+            np.add.at(totals, inv, pre_sizes)
+            self.size[uniq] = totals
+            self.n_components -= merged
         return merged
 
     def component_labels(self) -> np.ndarray:

@@ -103,6 +103,12 @@ def bfs_with_start_times(
     t = start_time[order]
     sid = source_ids[order]
     pr = priority[order]
+    # EST races list every vertex as a source exactly once; when ids are
+    # distinct the per-batch duplicate resolution below is a no-op and
+    # its np.unique (one per round) is pure overhead
+    seen_src = np.zeros(n, dtype=bool)
+    seen_src[sid] = True
+    distinct = int(np.count_nonzero(seen_src)) == k
 
     frontier = np.empty(0, np.int64)
     round_no = 0
@@ -111,9 +117,8 @@ def bfs_with_start_times(
     while True:
         # wake sources scheduled for this round that are still unclaimed:
         # one batched claim per round instead of np.append per source
-        j = src_ptr
-        while j < k and t[j] <= round_no:
-            j += 1
+        # (t is sorted, so the batch boundary is a bisection, not a scan)
+        j = int(np.searchsorted(t, round_no, side="right")) if src_ptr < k else src_ptr
         if j > src_ptr:
             vs = sid[src_ptr:j]
             prs = pr[src_ptr:j]
@@ -121,9 +126,12 @@ def bfs_with_start_times(
             fresh = arrival[vs] == INF
             vs, prs = vs[fresh], prs[fresh]
             if vs.shape[0]:
-                # duplicates of a vertex in one wake batch: the slice is
-                # (start, priority)-sorted, so its first occurrence wins
-                uniq, first_idx = np.unique(vs, return_index=True)
+                if distinct:
+                    uniq, first_idx = vs, slice(None)
+                else:
+                    # duplicates of a vertex in one wake batch: the slice
+                    # is (start, priority)-sorted, so its first wins
+                    uniq, first_idx = np.unique(vs, return_index=True)
                 arrival[uniq] = round_no
                 owner[uniq] = uniq
                 owner_prio[uniq] = prs[first_idx]

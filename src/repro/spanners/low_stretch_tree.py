@@ -24,13 +24,12 @@ import numpy as np
 from repro.clustering.est import est_cluster
 from repro.errors import ParameterError
 from repro.graph.csr import CSRGraph
-from repro.graph.quotient import quotient_graph
 from repro.graph.unionfind import UnionFind
 from repro.pram.tracker import PramTracker, null_tracker
 from repro.rng import SeedLike, resolve_rng
 from repro.spanners.result import SpannerResult, edge_id_lookup
 from repro.spanners.unweighted import spanner_beta
-from repro.spanners.weighted import weight_buckets
+from repro.spanners.weighted import contracted_quotient, weight_buckets
 
 
 def low_stretch_spanning_tree(
@@ -40,6 +39,8 @@ def low_stretch_spanning_tree(
     method: str = "round",
     max_iterations: int = 200,
     tracker: Optional[PramTracker] = None,
+    backend: Optional[str] = None,
+    workers: Optional[int] = 1,
 ) -> SpannerResult:
     """Build a spanning tree by iterated EST clustering + contraction.
 
@@ -49,6 +50,9 @@ def low_stretch_spanning_tree(
         Controls the per-level clustering granularity (beta =
         log(n)/(2k), as in the spanner); larger k contracts more
         aggressively per level.
+    backend, workers:
+        Kernel and multicore knobs for the clustering races (engine
+        paths only); the tree is identical for every value.
 
     Returns a :class:`SpannerResult` whose edges form a spanning tree
     of each connected component (n - #components edges total).
@@ -73,31 +77,20 @@ def low_stretch_spanning_tree(
         ids_level = np.flatnonzero(bucket == b)
         while iterations < max_iterations:
             iterations += 1
-            ru = uf.find_many(g.edge_u[ids_level])
-            rv = uf.find_many(g.edge_v[ids_level])
-            live = ru != rv
-            if not live.any():
+            q = contracted_quotient(g, uf, ids_level)
+            if q is None:
                 break
-            live_ids = ids_level[live]
-            ru, rv = ru[live], rv[live]
-
-            used = np.unique(np.concatenate([ru, rv]))
-            label = np.full(g.n, -1, dtype=np.int64)
-            label[used] = np.arange(used.shape[0], dtype=np.int64)
-            q = quotient_graph(
-                labels=np.arange(used.shape[0], dtype=np.int64),
-                edge_u=label[ru],
-                edge_v=label[rv],
-                edge_w=np.ones(live_ids.shape[0]),
-                edge_ids=live_ids,
+            c = est_cluster(
+                q.graph, beta, seed=rng, method=method, tracker=tracker,
+                backend=backend, workers=workers,
             )
-            c = est_cluster(q.graph, beta, seed=rng, method=method, tracker=tracker)
             child, parent = c.forest_edges()
             if child.size == 0:
                 # singleton clusters everywhere: force progress by
                 # keeping one live edge (its endpoints merge)
-                kept.append(live_ids[:1])
-                uf.union_edges(g.edge_u[live_ids[:1]], g.edge_v[live_ids[:1]])
+                live_one = q.rep_edge_ids[:1]
+                kept.append(live_one)
+                uf.union_edges(g.edge_u[live_one], g.edge_v[live_one])
                 continue
             qids = edge_id_lookup(q.graph, child, parent)
             orig = q.rep_edge_ids[qids]

@@ -44,6 +44,8 @@ def unweighted_spanner(
     method: str = "auto",
     tracker: Optional[PramTracker] = None,
     clustering: Optional[Clustering] = None,
+    backend: Optional[str] = None,
+    workers: Optional[int] = 1,
 ) -> SpannerResult:
     """Construct an O(k)-spanner of an unweighted graph.
 
@@ -58,6 +60,11 @@ def unweighted_spanner(
         Optionally reuse a precomputed EST clustering (must have been
         built with ``spanner_beta(n, k)``); mainly for tests that need
         to control the randomness.
+    backend, workers:
+        Kernel and multicore knobs for the clustering race, as in
+        :func:`repro.clustering.est.est_cluster` (they only reach the
+        engine under ``method="exact"``; the round BFS race is serial).
+        The spanner is identical for every value.
 
     Returns a :class:`SpannerResult` whose ``meta`` records the number
     of clusters, forest edges, and boundary edges.
@@ -69,7 +76,10 @@ def unweighted_spanner(
 
     with tracker.phase("cluster"):
         if clustering is None:
-            clustering = est_cluster(g, beta, seed=seed, method=method, tracker=tracker)
+            clustering = est_cluster(
+                g, beta, seed=seed, method=method, tracker=tracker,
+                backend=backend, workers=workers,
+            )
 
     # --- forest edges --------------------------------------------------
     child, parent = clustering.forest_edges()

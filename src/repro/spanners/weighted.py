@@ -18,6 +18,21 @@ Pipeline (Section 3, Theorem 3.3):
 
 The O(log k) grouping is what reduces the naive O(log U) size overhead
 to O(log k); the ablation benchmark compares both.
+
+The paper runs the O(log k) groups *in parallel* — their levels are
+independent.  The default ``strategy="batched"`` executes the whole
+construction that way, **level-synchronously**: round ``t`` takes every
+group's ``t``-th weight level, does all groups' contractions in one
+pass (:func:`repro.graph.quotient.quotient_forest` — a block-diagonal
+union of the per-group quotient graphs), clusters every block with a
+*single* EST race (:func:`repro.clustering.est.est_cluster_forest` —
+waves cannot cross blocks), and emits all groups' forest + boundary
+edges as two vectorized passes over the level's label arrays.
+``strategy="recursive"`` keeps the sequential per-group loop as the
+correctness oracle: both strategies draw per-group randomness from the
+same spawned streams and emit *identical* edge sets for a fixed seed
+(pinned by ``tests/test_spanners_batched.py`` and
+``BENCH_spanner.json``).
 """
 
 from __future__ import annotations
@@ -27,14 +42,15 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.clustering.est import est_cluster
+from repro.clustering.est import est_cluster, est_cluster_forest
+from repro.clustering.shifts import sample_shifts
 from repro.errors import ParameterError
 from repro.graph.csr import CSRGraph
-from repro.graph.quotient import quotient_graph
+from repro.graph.quotient import QuotientResult, quotient_forest, quotient_graph
 from repro.graph.unionfind import UnionFind
 from repro.pram.tracker import PramTracker, null_tracker
-from repro.rng import SeedLike, resolve_rng
-from repro.spanners.result import SpannerResult
+from repro.rng import SeedLike, resolve_rng, spawn_seeds
+from repro.spanners.result import SpannerResult, edge_id_lookup
 from repro.spanners.unweighted import spanner_beta
 
 
@@ -61,9 +77,16 @@ def group_stride(k: float, separation: float = 4.0) -> int:
     Consecutive buckets inside one group then differ in weight by a
     factor >= ``separation * k``, the paper's "well separated" premise
     (weights differing by at least O(k) between levels).
+    ``separation`` must exceed 1: at 1 or below the premise collapses
+    (for small ``k`` every bucket lands in one group and the
+    construction silently degenerates to the ungrouped scheme).
     """
     if k < 1:
         raise ParameterError("k must be >= 1")
+    if separation <= 1:
+        raise ParameterError(
+            f"separation must be > 1 (well-separated premise), got {separation}"
+        )
     return max(1, int(math.ceil(math.log2(max(separation * k, 2.0)))))
 
 
@@ -77,6 +100,79 @@ def well_separated_groups(bucket: np.ndarray, k: float, separation: float = 4.0)
     return [np.flatnonzero(bucket % s == j) for j in range(s)]
 
 
+def contracted_quotient(
+    g: CSRGraph, uf: UnionFind, ids: np.ndarray
+) -> Optional[QuotientResult]:
+    """One weight level's quotient: contract ``ids`` through ``uf``.
+
+    Resolves the endpoints of the level's edges to their union–find
+    roots, drops edges already connected by previous levels' forests,
+    compacts the surviving roots, and builds the uniform-weight
+    quotient graph whose ``rep_edge_ids`` are original edge ids.
+    Returns ``None`` when nothing is live (the caller skips the level —
+    and must then not consume any randomness for it).  Shared by the
+    recursive weighted spanner and the low-stretch tree loop.
+    """
+    ru = uf.find_many(g.edge_u[ids])
+    rv = uf.find_many(g.edge_v[ids])
+    live = ru != rv
+    if not live.any():
+        return None
+    ru, rv, live_ids = ru[live], rv[live], ids[live]
+    used = np.unique(np.concatenate([ru, rv]))
+    label = np.full(g.n, -1, dtype=np.int64)
+    label[used] = np.arange(used.shape[0], dtype=np.int64)
+    return quotient_graph(
+        labels=np.arange(used.shape[0], dtype=np.int64),
+        edge_u=label[ru],
+        edge_v=label[rv],
+        edge_w=np.ones(live_ids.shape[0], dtype=np.float64),  # Γ_i is uniform
+        edge_ids=live_ids,
+    )
+
+
+def _unique_edge_ids(m: int, parts: List[np.ndarray]) -> np.ndarray:
+    """Sorted deduplicated union of edge-id arrays (ids live in [0, m)).
+
+    A presence bitmap + ``flatnonzero`` — the kept-edge union runs over
+    hundreds of thousands of ids per build, where hash/sort
+    ``np.unique`` was a visible profile cost.
+    """
+    if not parts:
+        return np.empty(0, np.int64)
+    seen = np.zeros(m, dtype=bool)
+    for p in parts:
+        seen[p] = True
+    return np.flatnonzero(seen)
+
+
+def _boundary_edge_ids(gq: CSRGraph, labels: np.ndarray) -> np.ndarray:
+    """One kept edge per (boundary vertex, adjacent cluster) pair.
+
+    Works over directed arcs so each endpoint of a cut edge contributes
+    a candidate; dedupes on the key ``(vertex, neighbor cluster)``,
+    keeping the lowest edge id.  Returns *quotient* edge ids.  On a
+    block-diagonal union this equals the per-block result concatenated:
+    vertex ids are block-contiguous, so no (v, c) run crosses blocks.
+    """
+    src = gq.arc_sources()
+    dst = gq.indices
+    lab = labels
+    inter = lab[src] != lab[dst]
+    if not inter.any():
+        return np.empty(0, np.int64)
+    v_side = src[inter]
+    c_side = lab[dst[inter]]
+    e_side = gq.edge_ids[inter]
+    order = np.lexsort((e_side, c_side, v_side))
+    v_s, c_s, e_s = v_side[order], c_side[order], e_side[order]
+    first = np.empty(v_s.shape[0], dtype=bool)
+    first[0] = True
+    np.not_equal(v_s[1:], v_s[:-1], out=first[1:])
+    first[1:] |= c_s[1:] != c_s[:-1]
+    return e_s[first]
+
+
 def _well_separated_spanner(
     g: CSRGraph,
     edge_idx: np.ndarray,
@@ -86,6 +182,7 @@ def _well_separated_spanner(
     method: str,
     tracker: PramTracker,
     backend: Optional[str] = None,
+    workers: Optional[int] = 1,
 ) -> np.ndarray:
     """Algorithm 3 on one well-separated group; returns original edge ids.
 
@@ -101,65 +198,179 @@ def _well_separated_spanner(
     levels = np.unique(bucket[edge_idx])
     for b in levels:
         ids = edge_idx[bucket[edge_idx] == b]
-        eu = g.edge_u[ids]
-        ev = g.edge_v[ids]
 
         # contract through the union-find of previously kept forests
-        ru = uf.find_many(eu)
-        rv = uf.find_many(ev)
-        live = ru != rv
-        if not live.any():
+        q = contracted_quotient(g, uf, ids)
+        if q is None:
             continue
-        ru, rv, live_ids = ru[live], rv[live], ids[live]
-
-        # compact the quotient vertex space to the endpoints in play
-        used = np.unique(np.concatenate([ru, rv]))
-        label = np.full(g.n, -1, dtype=np.int64)
-        label[used] = np.arange(used.shape[0], dtype=np.int64)
-        q = quotient_graph(
-            labels=np.arange(used.shape[0], dtype=np.int64),
-            edge_u=label[ru],
-            edge_v=label[rv],
-            edge_w=np.ones(live_ids.shape[0], dtype=np.float64),  # Γ_i is uniform
-            edge_ids=live_ids,
-        )
         gq = q.graph
 
         with tracker.phase("group_level"):
             clustering = est_cluster(
-                gq, beta, seed=rng, method=method, tracker=tracker, backend=backend
+                gq, beta, seed=rng, method=method, tracker=tracker,
+                backend=backend, workers=workers,
             )
 
         # forest edges -> original ids, and contract them for next levels
         child, parent = clustering.forest_edges()
         if child.size:
-            from repro.spanners.result import edge_id_lookup
-
             qids = edge_id_lookup(gq, child, parent)
             forest_orig = q.rep_edge_ids[qids]
             kept.append(forest_orig)
             uf.union_edges(g.edge_u[forest_orig], g.edge_v[forest_orig])
 
         # boundary edges: one per (boundary quotient vertex, adjacent cluster)
-        src = gq.arc_sources()
-        dst = gq.indices
-        lab = clustering.labels
-        inter = lab[src] != lab[dst]
-        if inter.any():
-            v_side = src[inter]
-            c_side = lab[dst[inter]]
-            e_side = gq.edge_ids[inter]
-            order = np.lexsort((e_side, c_side, v_side))
-            v_s, c_s, e_s = v_side[order], c_side[order], e_side[order]
-            first = np.empty(v_s.shape[0], dtype=bool)
-            first[0] = True
-            np.not_equal(v_s[1:], v_s[:-1], out=first[1:])
-            first[1:] |= c_s[1:] != c_s[:-1]
-            kept.append(q.rep_edge_ids[e_s[first]])
+        qids = _boundary_edge_ids(gq, clustering.labels)
+        if qids.size:
+            kept.append(q.rep_edge_ids[qids])
 
-    if not kept:
-        return np.empty(0, np.int64)
-    return np.unique(np.concatenate(kept))
+    return _unique_edge_ids(g.m, kept)
+
+
+def _well_separated_spanner_batched(
+    g: CSRGraph,
+    groups: List[np.ndarray],
+    bucket: np.ndarray,
+    k: float,
+    seeds: np.ndarray,
+    method: str,
+    tracker: PramTracker,
+    backend: Optional[str] = None,
+    workers: Optional[int] = 1,
+) -> np.ndarray:
+    """All groups' Algorithm 3 runs, executed level-synchronously.
+
+    Round ``t`` processes the ``t``-th weight level of *every* group at
+    once, with no per-group work at all beyond drawing each group's
+    shifts from its own stream:
+
+    * the level schedule is materialized upfront as one stable lexsort
+      of the edge list by ``(level rank, group)`` — round ``t`` is a
+      contiguous slice, already grouped with ascending edge ids;
+    * all groups' running contractions live in a *single* union–find
+      over the group-tagged id space ``[0, s * n)`` (group ``j`` owns
+      ``[j * n, (j + 1) * n)``), so one ``find_many`` resolves the
+      whole round and one ``union_edges`` applies the whole round's
+      forests — per-group roots and hence per-group quotients are
+      bitwise those of a standalone per-group union–find, just offset;
+      groups with a single weight level never consult it (their one
+      level starts uncontracted), which keeps the ``grouping=False``
+      ablation — one group per bucket — allocation-free;
+    * :func:`quotient_forest` builds the round's block-diagonal
+      quotient union in one pass, :func:`est_cluster_forest` clusters
+      every block in one race, and forest/boundary edges fall out of
+      two vectorized passes over the round's label arrays.
+
+    Groups whose round-``t`` level is fully contracted (or exhausted)
+    contribute no block — and, exactly like the recursive oracle, draw
+    no randomness for that level, so both strategies consume each
+    group's spawned stream level-for-level and emit identical edge
+    sets per seed.
+    """
+    n = g.n
+    beta = spanner_beta(n, k)
+    rngs = [np.random.default_rng(int(s)) for s in seeds]
+    kept: List[np.ndarray] = []
+
+    # ---- level schedule: one lexsort instead of per-group scans -------
+    grp_of = np.empty(g.m, dtype=np.int64)
+    level_rank = np.empty(g.m, dtype=np.int64)
+    num_levels = np.zeros(len(groups), dtype=np.int64)
+    for j, grp in enumerate(groups):
+        grp_of[grp] = j
+        if grp.size:
+            levels = np.unique(bucket[grp])
+            num_levels[j] = levels.shape[0]
+            level_rank[grp] = np.searchsorted(levels, bucket[grp])
+    order = np.lexsort((grp_of, level_rank)) if g.m else np.empty(0, np.int64)
+    max_rounds = int(num_levels.max()) if len(groups) else 0
+    round_ptr = np.searchsorted(
+        level_rank[order], np.arange(max_rounds + 1, dtype=np.int64)
+    )
+
+    # ---- one union-find over the group-tagged vertex space ------------
+    # only groups that reach a second level ever read their block
+    base = np.full(len(groups), -1, dtype=np.int64)
+    multi = np.flatnonzero(num_levels >= 2)
+    base[multi] = np.arange(multi.shape[0], dtype=np.int64) * n
+    uf = UnionFind(int(multi.shape[0]) * n)
+
+    for t in range(max_rounds):
+        ids = order[round_ptr[t] : round_ptr[t + 1]]
+        gj = grp_of[ids]
+        eu = g.edge_u[ids]
+        ev = g.edge_v[ids]
+
+        # ---- contract the whole round through the shared UF -----------
+        tagged = base[gj] >= 0
+        if tagged.all():
+            off = base[gj]
+            ru = uf.find_many(off + eu) - off
+            rv = uf.find_many(off + ev) - off
+        else:
+            ru, rv = eu.copy(), ev.copy()
+            if tagged.any():
+                off = base[gj[tagged]]
+                ru[tagged] = uf.find_many(off + eu[tagged]) - off
+                rv[tagged] = uf.find_many(off + ev[tagged]) - off
+        live = ru != rv
+        if not live.any():
+            continue
+        gj, ru, rv, ids = gj[live], ru[live], rv[live], ids[live]
+
+        # compact the round's still-active groups into blocks
+        present = np.zeros(len(groups), dtype=bool)
+        present[gj] = True
+        active = np.flatnonzero(present)
+        blk_of_group = np.cumsum(present) - 1
+
+        # ---- the round's contraction, once, on the union --------------
+        qf = quotient_forest(
+            blk_of_group[gj],
+            ru,
+            rv,
+            np.ones(ids.shape[0], dtype=np.float64),  # Γ_i is uniform
+            num_groups=int(active.shape[0]),
+            span=n,
+            edge_ids=ids,
+        )
+        union = qf.graph
+
+        # ---- one EST race over every block ----------------------------
+        shifts = np.concatenate(
+            [
+                sample_shifts(int(qf.ptr[b + 1] - qf.ptr[b]), beta, rngs[j])
+                for b, j in enumerate(active)
+            ]
+        )
+        with tracker.phase("group_level"):
+            clustering = est_cluster_forest(
+                union, beta, qf.ptr, shifts, method=method, tracker=tracker,
+                backend=backend, workers=workers,
+            )
+
+        # ---- forest edges -> original ids, contract in one call -------
+        child, parent = clustering.forest_edges()
+        if child.size:
+            qids = edge_id_lookup(union, child, parent)
+            forest_orig = qf.rep_edge_ids[qids]
+            kept.append(forest_orig)
+            block_of = np.searchsorted(qf.ptr, child, side="right") - 1
+            fgrp = active[block_of]
+            fsel = base[fgrp] >= 0
+            if fsel.any():
+                off = base[fgrp[fsel]]
+                uf.union_edges(
+                    off + g.edge_u[forest_orig[fsel]],
+                    off + g.edge_v[forest_orig[fsel]],
+                )
+
+        # ---- boundary edges, one pass over the union's arcs -----------
+        qids = _boundary_edge_ids(union, clustering.labels)
+        if qids.size:
+            kept.append(qf.rep_edge_ids[qids])
+
+    return _unique_edge_ids(g.m, kept)
 
 
 def weighted_spanner(
@@ -171,6 +382,8 @@ def weighted_spanner(
     grouping: bool = True,
     tracker: Optional[PramTracker] = None,
     backend: Optional[str] = None,
+    strategy: str = "batched",
+    workers: Optional[int] = 1,
 ) -> SpannerResult:
     """Construct an O(k)-spanner of a weighted graph (Theorem 3.3).
 
@@ -182,14 +395,33 @@ def weighted_spanner(
         O(log U)-overhead scheme) — kept for the ablation benchmark.
     method:
         EST execution mode on the (uniform-weight) quotient graphs.
+    separation:
+        Well-separatedness constant (> 1): consecutive buckets inside
+        one group differ in weight by at least ``separation * k``.
     backend:
         Shortest-path kernel for weighted races, as in
-        :func:`repro.paths.engine.shortest_paths`.
+        :func:`repro.paths.engine.shortest_paths` (the quotient graphs
+        are uniform, so this only matters under ``method="exact"``).
+    strategy:
+        ``"batched"`` (default) runs all groups level-synchronously —
+        one quotient union, one EST race, and one edge-emission pass
+        per weight level.  ``"recursive"`` is the sequential per-group
+        oracle.  Identical edge sets per seed (both draw per-group
+        randomness from the same spawned streams).
+    workers:
+        Multicore knob for the engine races (``1`` = serial, ``None`` =
+        all cores); the spanner is identical for every value.
 
     Expected size O(n^(1+1/k) log k); stretch O(k); O(m) work and
     O(k log* n log U) depth, with the O(log k) groups running in
-    parallel (their tracker depths are max-merged).
+    parallel (under ``recursive`` their tracker depths are max-merged;
+    under ``batched`` the shared level schedule itself realizes the
+    parallel composition).
     """
+    if strategy not in ("batched", "recursive"):
+        raise ParameterError("strategy must be 'batched' or 'recursive'")
+    group_stride(k, separation)  # validates k and separation (> 1) for
+    # both grouping modes; the value is recomputed where needed
     tracker = tracker or null_tracker()
     rng = resolve_rng(seed)
     bucket = weight_buckets(g)
@@ -199,21 +431,30 @@ def weighted_spanner(
     else:
         groups = [np.flatnonzero(bucket == b) for b in np.unique(bucket)]
 
-    kept: List[np.ndarray] = []
-    children = []
-    for grp in groups:
-        child_tracker = tracker.fork()
-        kept.append(
-            _well_separated_spanner(
-                g, grp, bucket, k, rng, method, child_tracker, backend=backend
-            )
-        )
-        children.append(child_tracker)
-    tracker.parallel_children(children)
+    # one spawned stream per group: both strategies hand group j the
+    # same child generator, so the seeded edge sets coincide exactly
+    seeds = spawn_seeds(rng, len(groups))
 
-    edge_ids = (
-        np.unique(np.concatenate(kept)) if kept else np.empty(0, np.int64)
-    )
+    if strategy == "batched":
+        edge_ids = _well_separated_spanner_batched(
+            g, groups, bucket, k, seeds, method, tracker,
+            backend=backend, workers=workers,
+        )
+    else:
+        kept: List[np.ndarray] = []
+        children = []
+        for j, grp in enumerate(groups):
+            child_tracker = tracker.fork()
+            kept.append(
+                _well_separated_spanner(
+                    g, grp, bucket, k, np.random.default_rng(int(seeds[j])),
+                    method, child_tracker, backend=backend, workers=workers,
+                )
+            )
+            children.append(child_tracker)
+        tracker.parallel_children(children)
+        edge_ids = _unique_edge_ids(g.m, kept)
+
     n_groups = len(groups)
     return SpannerResult(
         graph=g,
@@ -225,6 +466,7 @@ def weighted_spanner(
             "num_buckets": float(np.unique(bucket).shape[0]) if g.m else 0.0,
             "weight_ratio": g.weight_ratio,
             "grouping": float(grouping),
+            "batched": float(strategy == "batched"),
         },
     )
 

@@ -107,3 +107,35 @@ class TestWeightedSpanner:
     def test_unweighted_input_degenerates_gracefully(self, small_gnm):
         sp = weighted_spanner(small_gnm, 3, seed=1)
         verify_spanner(small_gnm, sp)
+
+
+class TestSeparationValidation:
+    """``separation <= 1`` used to silently collapse the well-separated
+    grouping into a single degenerate group; it must be rejected."""
+
+    @pytest.mark.parametrize("separation", [1.0, 0.5, 0.0, -2.0])
+    def test_weighted_spanner_rejects(self, small_weighted, separation):
+        from repro.errors import ParameterError
+
+        with pytest.raises(ParameterError, match="separation"):
+            weighted_spanner(small_weighted, 3, seed=1, separation=separation)
+
+    @pytest.mark.parametrize("separation", [1.0, 0.25])
+    def test_group_stride_rejects(self, separation):
+        from repro.errors import ParameterError
+
+        with pytest.raises(ParameterError, match="separation"):
+            group_stride(4.0, separation)
+
+    def test_rejected_on_both_strategies(self, small_weighted):
+        from repro.errors import ParameterError
+
+        for strategy in ("batched", "recursive"):
+            with pytest.raises(ParameterError):
+                weighted_spanner(
+                    small_weighted, 3, seed=1, separation=1.0, strategy=strategy
+                )
+
+    def test_valid_separation_above_one_accepted(self, small_weighted):
+        sp = weighted_spanner(small_weighted, 3, seed=1, separation=1.5)
+        verify_spanner(small_weighted, sp)
