@@ -7,6 +7,10 @@ Commands
     and the PRAM ledger; optionally save the spanner as an edge list.
 ``hopset``
     Build a hopset and answer s-t queries.
+``serve``
+    Build-or-load a hopset, then serve a stream of s-t distance
+    queries through :class:`repro.serve.DistanceServer` (batched
+    coalescing + LRU source-row cache).
 ``cluster``
     Run one EST clustering and print its statistics.
 ``sssp``
@@ -164,6 +168,70 @@ def cmd_hopset(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import os
+
+    from repro.hopsets import HopsetParams, build_hopset
+    from repro.serve import DistanceServer, load_hopset, save_hopset
+
+    g = _load_graph(args)
+    if args.hopset and os.path.exists(args.hopset):
+        hs = load_hopset(g, args.hopset)
+        print(f"loaded hopset: {args.hopset} ({hs.size} edges)")
+    else:
+        params = HopsetParams(epsilon=args.epsilon, delta=1.5, gamma1=0.15, gamma2=0.5)
+        hs = build_hopset(
+            g, params, seed=args.seed, backend=args.backend,
+            workers=_workers_from_args(args),
+        )
+        print(f"built hopset: {hs.size} edges")
+        if args.hopset:
+            save_hopset(hs, args.hopset)
+            print(f"saved hopset to {args.hopset}")
+
+    server = DistanceServer(
+        hs,
+        h=args.hops if args.hops > 0 else None,
+        backend=args.backend,
+        workers=_workers_from_args(args),
+        cache_rows=args.cache_rows,
+    )
+    print(f"graph: n={g.n} m={g.m}; serving with backend={server.backend}, "
+          f"h={'converge' if args.hops <= 0 else args.hops}, "
+          f"cache_rows={args.cache_rows}")
+
+    if args.queries and args.queries != "-":
+        with open(args.queries, "r", encoding="utf-8") as f:
+            lines = f.readlines()
+    else:
+        lines = sys.stdin.readlines()
+    pairs = []
+    for line in lines:
+        parts = line.split()
+        if not parts or parts[0].startswith("#"):
+            continue
+        if len(parts) < 2:
+            print(f"error: malformed query line {line.rstrip()!r}", file=sys.stderr)
+            return 2
+        pairs.append((int(parts[0]), int(parts[1])))
+
+    # the coalescing front door: answer the stream in --batch chunks
+    for lo in range(0, len(pairs), max(args.batch, 1)):
+        chunk = pairs[lo : lo + max(args.batch, 1)]
+        dists = server.query_batch(chunk)
+        for (s, t), d in zip(chunk, dists):
+            print(f"{s} {t} {d:g}")
+    st = server.stats
+    print(
+        f"served {st.queries} queries in {st.batches} batches: "
+        f"{st.kernel_runs} kernel runs over {st.kernel_calls} calls, "
+        f"{st.cache_hits} cache hits / {st.cache_misses} misses "
+        f"({st.cache_evictions} evictions), {st.rounds} rounds, "
+        f"{st.arcs} arcs relaxed"
+    )
+    return 0
+
+
 def cmd_connectivity(args) -> int:
     from repro.graph import connected_components
     from repro.graph.parallel_connectivity import parallel_connectivity
@@ -293,6 +361,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="level-synchronous batched builder (default) or the recursive oracle",
     )
     p.set_defaults(fn=cmd_hopset)
+
+    p = sub.add_parser("serve", help="serve distance queries over a hopset")
+    _add_io_args(p)
+    _add_backend_arg(p)
+    _add_workers_arg(p)
+    p.add_argument("--epsilon", type=float, default=0.5)
+    p.add_argument(
+        "--hopset",
+        help="hopset npz path: loaded when it exists, otherwise built and "
+        "saved here (omit to rebuild every invocation)",
+    )
+    p.add_argument(
+        "--queries",
+        help="file of 's t' query lines ('-' or omitted reads stdin; "
+        "'#' lines are comments)",
+    )
+    p.add_argument(
+        "--hops",
+        type=int,
+        default=0,
+        help="hop budget per query (0 = run to convergence: exact distances)",
+    )
+    p.add_argument("--cache-rows", type=int, default=128,
+                   help="LRU capacity for hot source distance rows")
+    p.add_argument("--batch", type=int, default=256,
+                   help="coalesce up to this many queries per engine call")
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("cluster", help="run one EST clustering")
     _add_io_args(p)

@@ -57,8 +57,34 @@ class HopsetResult:
         return int((self.kind == 1).sum())
 
     def arcs(self) -> ArcSet:
-        """Directed arcs of ``E ∪ E'`` ready for h-hop Bellman–Ford."""
-        return combine_arcs(arcs_from_graph(self.graph), self.eu, self.ev, self.ew)
+        """Directed arcs of ``E ∪ E'`` ready for h-hop Bellman–Ford.
+
+        Memoized on the instance: query paths call this once per
+        distance query, and re-concatenating six immutable arrays every
+        time was pure waste.  The frozen-dataclass memo idiom matches
+        :meth:`repro.graph.csr.CSRGraph._weight_stats`.
+        """
+        cached = self.__dict__.get("_arcs")
+        if cached is None:
+            cached = combine_arcs(
+                arcs_from_graph(self.graph), self.eu, self.ev, self.ew
+            )
+            object.__setattr__(self, "_arcs", cached)
+        return cached
+
+    def union_csr(self):
+        """Cached CSR compilation ``(indptr, indices, weights)`` of
+        :meth:`arcs` — the adjacency the frontier-based query kernel
+        (:func:`repro.kernels.numpy_kernel.hop_sssp_batch`) gathers
+        from.  Built once per hopset; serving tiers hold it hot.
+        """
+        cached = self.__dict__.get("_union_csr")
+        if cached is None:
+            from repro.paths.bellman_ford import arcset_to_csr
+
+            cached = arcset_to_csr(self.arcs())
+            object.__setattr__(self, "_union_csr", cached)
+        return cached
 
     def hopset_only_arcs(self) -> ArcSet:
         base = ArcSet(

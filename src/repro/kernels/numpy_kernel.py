@@ -152,6 +152,150 @@ def expand_frontier(
     return arc_index, arc_source
 
 
+def hop_sssp_batch(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    weights: np.ndarray,
+    n: int,
+    run_src: np.ndarray,
+    run_ptr: np.ndarray,
+    h: int,
+    workers: Optional[int] = 1,
+    state: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray, int]] = None,
+) -> Tuple[np.ndarray, np.ndarray, List[int], np.ndarray]:
+    """Source-tagged batch of ``k`` frontier-based h-hop Bellman–Ford runs.
+
+    The query-side twin of :func:`bucket_sssp_batch`: run ``r`` is the
+    multi-source *hop-limited* search seeded at distance 0 by
+    ``run_src[run_ptr[r]:run_ptr[r+1]]`` on the composite state space
+    ``r * n + v``, and every synchronous round is one batched
+    gather/scatter over the frontier arcs of **all** runs at once.
+    Unlike dense synchronous Bellman–Ford (which relaxes every arc
+    every round), round ``t`` gathers only from states improved in
+    round ``t - 1`` — by synchronous semantics an unimproved state's
+    out-arcs were already fully applied, so skipping them changes
+    nothing.  Per run the result equals
+    :func:`repro.paths.bellman_ford.hop_limited_distances` on the same
+    arcs: ``dist`` is the minimum weight over paths of at most ``h``
+    arcs and ``hops`` the round each value stabilized.
+
+    ``workers`` shards each round's frontier
+    (:func:`repro.parallel.chunking.shard_frontier`) onto a thread
+    pool exactly like the bucket kernel; the per-shard reduction is a
+    plain min per claimed state, so results are identical for every
+    worker count.
+
+    ``state`` warm-starts the loop: pass the ``(dist, hops, frontier,
+    rounds_done)`` of a previous call with a smaller budget and rounds
+    ``rounds_done + 1 .. h`` run as if the call had been issued with
+    budget ``h`` from the start (the budget-``h`` prefix of a
+    synchronous schedule is history-independent).  The arrays are
+    updated in place and returned.
+
+    Returns ``(dist, hops, round_arcs, frontier)``: flat ``k * n``
+    label arrays, the arcs gathered by each executed round (the PRAM
+    work ledger — ``len(round_arcs)`` rounds ran in this call), and
+    the composite states improved in the final round (empty iff the
+    search converged: no deeper budget can change anything).
+    """
+    run_src = np.asarray(run_src, dtype=np.int64)
+    run_ptr = np.asarray(run_ptr, dtype=np.int64)
+    weights = np.asarray(weights).astype(np.float64, copy=False)
+    k = run_ptr.shape[0] - 1
+    single = k == 1
+    nn = k * n
+
+    if state is None:
+        dist = np.full(nn, np.inf, dtype=np.float64)
+        hops = np.zeros(nn, dtype=np.int64)
+        if run_src.shape[0]:
+            if single:
+                comp = np.unique(run_src)
+            else:
+                run_of = np.repeat(np.arange(k, dtype=np.int64), np.diff(run_ptr))
+                comp = np.unique(run_of * n + run_src)
+            dist[comp] = 0.0
+            frontier = comp
+        else:
+            frontier = np.empty(0, dtype=np.int64)
+        r = 0
+    else:
+        dist, hops, frontier, r = state
+
+    nw = effective_workers(workers, oversubscribe=True)
+    pool: Optional[ThreadPoolExecutor] = None
+    round_arcs: List[int] = []
+
+    def _reduce_min(nbr, cand):
+        """One winner (the minimum candidate) per distinct claimed state.
+        Min is associative, so per-shard reduction + one merge pass over
+        shard winners equals a single global pass for any shard layout."""
+        sel = np.lexsort((cand, nbr))
+        nbr_s, cand_s = nbr[sel], cand[sel]
+        first = np.empty(nbr_s.shape[0], dtype=bool)
+        first[0] = True
+        np.not_equal(nbr_s[1:], nbr_s[:-1], out=first[1:])
+        return nbr_s[first], cand_s[first]
+
+    def _gather_shard(shard):
+        """Improving candidates out of one contiguous frontier shard,
+        claim-reduced, against the pre-round snapshot (pure reads)."""
+        vv = shard if single else shard % n
+        starts = indptr[vv]
+        counts = indptr[vv + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            return None, None, 0
+        arc_off = np.repeat(np.cumsum(counts) - counts, counts)
+        arc_idx = np.arange(total, dtype=np.int64) - arc_off + np.repeat(starts, counts)
+        if single:
+            nbr = indices[arc_idx]
+        else:
+            nbr = np.repeat(shard - vv, counts) + indices[arc_idx]
+        cand = np.repeat(dist[shard], counts) + weights[arc_idx]
+        improving = cand < dist[nbr]
+        if not improving.any():
+            return None, None, total
+        nbr, cand = _reduce_min(nbr[improving], cand[improving])
+        return nbr, cand, total
+
+    try:
+        while r < h and frontier.shape[0]:
+            r += 1
+            if nw > 1 and frontier.shape[0] >= 2 * PAR_MIN_SHARD:
+                if pool is None:
+                    pool = ThreadPoolExecutor(max_workers=nw)
+                shards = shard_frontier(frontier, nw, PAR_MIN_SHARD)
+                parts = list(pool.map(_gather_shard, shards))
+                total = sum(p[2] for p in parts)
+                kept = [p for p in parts if p[0] is not None]
+                if not kept:
+                    win_v = None
+                elif len(kept) == 1:
+                    win_v, win_d = kept[0][:2]
+                else:
+                    win_v, win_d = _reduce_min(
+                        np.concatenate([p[0] for p in kept]),
+                        np.concatenate([p[1] for p in kept]),
+                    )
+            else:
+                win_v, win_d, total = _gather_shard(frontier)
+            round_arcs.append(total)
+            if win_v is None:
+                frontier = np.empty(0, dtype=np.int64)
+                break
+            # all writes on the coordinating thread, after every shard's
+            # snapshot reads: the round stays synchronous
+            dist[win_v] = win_d
+            hops[win_v] = r
+            frontier = win_v
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=False)
+
+    return dist, hops, round_arcs, frontier
+
+
 def bucket_sssp(
     indptr: np.ndarray,
     indices: np.ndarray,

@@ -68,6 +68,32 @@ def combine_arcs(base: ArcSet, eu: np.ndarray, ev: np.ndarray, ew: np.ndarray) -
     )
 
 
+def arcset_to_csr(arcs: ArcSet) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Compile an :class:`ArcSet` into CSR arrays ``(indptr, indices, w)``.
+
+    The frontier-based h-hop kernel
+    (:func:`repro.kernels.numpy_kernel.hop_sssp_batch`) gathers arcs
+    per *vertex*, so the flat arc list is grouped by source once via a
+    stable counting sort.  Callers cache the result per arc set (see
+    :meth:`repro.hopsets.result.HopsetResult.union_csr`).
+    """
+    if arcs.size == 0:
+        return (
+            np.zeros(arcs.n + 1, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.float64),
+        )
+    order = np.argsort(arcs.src, kind="stable")
+    counts = np.bincount(arcs.src, minlength=arcs.n)
+    indptr = np.zeros(arcs.n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return (
+        indptr,
+        arcs.dst[order].astype(np.int64, copy=False),
+        arcs.w[order].astype(np.float64, copy=False),
+    )
+
+
 def hop_limited_distances(
     arcs: ArcSet,
     sources: np.ndarray,
@@ -88,6 +114,13 @@ def hop_limited_distances(
     ``early_stop`` exits once a round changes nothing — the remaining
     rounds cannot change anything either, so the h-hop semantics are
     preserved while saving work; the ledger only charges executed rounds.
+
+    Ledger: each executed round charges the arcs it actually relaxed —
+    arcs whose source is still at ``inf`` contribute no candidate, so
+    they are masked out of the gather and out of the charge (the PRAM
+    processors assigned to them are idle).  Once every vertex is
+    labeled the mask is skipped entirely (labels never return to
+    ``inf``) and the charge is the full arc count, as before.
     """
     tracker = tracker or null_tracker()
     sources = np.asarray(sources, dtype=np.int64)
@@ -97,17 +130,31 @@ def hop_limited_distances(
     hops = np.zeros(n, dtype=np.int64)
 
     rounds = 0
+    all_reached = False
     for _ in range(h):
-        cand = dist[arcs.src] + arcs.w
+        src_dist = dist[arcs.src]
+        if all_reached:
+            cand = src_dist + arcs.w
+            dst = arcs.dst
+            relaxed = arcs.size
+        else:
+            live = src_dist < INF
+            if live.all():
+                all_reached = True  # monotone: stays true, skip the mask
+                cand = src_dist + arcs.w
+                dst = arcs.dst
+                relaxed = arcs.size
+            else:
+                cand = src_dist[live] + arcs.w[live]
+                dst = arcs.dst[live]
+                relaxed = int(live.sum())
         new = dist.copy()
-        np.minimum.at(new, arcs.dst, cand)
-        tracker.parallel_round(work=arcs.size)
+        np.minimum.at(new, dst, cand)
+        tracker.parallel_round(work=relaxed)
         rounds += 1
         improved = new < dist
-        if not improved.any():
-            rounds -= 0  # round still executed; keep charge
-            if early_stop:
-                break
+        if not improved.any() and early_stop:
+            break
         hops[improved] = rounds
         dist = new
     return dist, hops, rounds

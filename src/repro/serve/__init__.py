@@ -1,0 +1,21 @@
+"""Distance-query serving tier: build a hopset once, serve traffic.
+
+:class:`DistanceServer` holds a prebuilt ``G ∪ E'`` union CSR, an LRU
+cache of hot source distance rows, and a coalescing front door that
+turns k concurrent s-t queries into one multi-source frontier-kernel
+call.  See :mod:`repro.serve.server` and the CLI ``serve`` subcommand.
+"""
+
+from repro.serve.server import (
+    DistanceServer,
+    ServerStats,
+    load_hopset,
+    save_hopset,
+)
+
+__all__ = [
+    "DistanceServer",
+    "ServerStats",
+    "load_hopset",
+    "save_hopset",
+]

@@ -12,6 +12,7 @@ from repro.hopsets import (
     hopset_sssp,
     suggested_hop_bound,
 )
+from repro.hopsets.result import HopsetResult
 from repro.pram import PramTracker
 
 PARAMS = HopsetParams(epsilon=0.5, delta=1.5, gamma1=0.15, gamma2=0.5)
@@ -78,3 +79,65 @@ class TestQueries:
         assert hs.size == 0
         d, hops = hopset_distance(hs, 0, 1)
         assert d == 1.0 and hops == 1
+
+
+class TestResultCaches:
+    def test_arcs_cached_identity(self, built):
+        _, hs = built
+        first = hs.arcs()
+        assert hs.arcs() is first  # second call returns the cached object
+
+    def test_union_csr_cached_identity(self, built):
+        _, hs = built
+        first = hs.union_csr()
+        second = hs.union_csr()
+        assert all(a is b for a, b in zip(first, second))
+
+    def test_union_csr_matches_arcs(self, built):
+        _, hs = built
+        arcs = hs.arcs()
+        indptr, indices, weights = hs.union_csr()
+        assert indptr[-1] == arcs.size == indices.shape[0] == weights.shape[0]
+        # arc multiset is preserved through the CSR compilation
+        got = sorted(zip(np.repeat(np.arange(arcs.n), np.diff(indptr)),
+                         indices, weights))
+        want = sorted(zip(arcs.src, arcs.dst, arcs.w))
+        assert got == want
+
+
+class TestAdaptiveWarmStart:
+    def test_rounds_linear_not_quadratic(self):
+        # hop-doubling used to restart Bellman-Ford from scratch at each
+        # budget (8+16+32+64 = 120 rounds on a path-60).  Warm-starting
+        # from the previous (dist, hops, frontier) state charges each
+        # hop at most once plus one convergence-detection round per
+        # doubling step.
+        n = 60
+        g = path_graph(n)
+        hs = HopsetResult(
+            graph=g,
+            eu=np.empty(0, np.int64),
+            ev=np.empty(0, np.int64),
+            ew=np.empty(0, np.float64),
+            kind=np.empty(0, np.int64),
+        )
+        t = PramTracker(n=n, depth_per_round=1)
+        d, hops = hopset_distance(hs, 0, n - 1, tracker=t)
+        assert d == float(n - 1) and hops == n - 1
+        # ~n productive rounds + a few detection rounds; a restarting
+        # doubling schedule would charge >= 120
+        assert t.rounds <= n + 8
+
+    def test_warm_start_same_answer_as_explicit_h(self):
+        n = 60
+        g = path_graph(n)
+        hs = HopsetResult(
+            graph=g,
+            eu=np.empty(0, np.int64),
+            ev=np.empty(0, np.int64),
+            ew=np.empty(0, np.float64),
+            kind=np.empty(0, np.int64),
+        )
+        d_auto, h_auto = hopset_distance(hs, 0, n - 1)
+        d_full, h_full = hopset_distance(hs, 0, n - 1, h=n)
+        assert d_auto == d_full and h_auto == h_full

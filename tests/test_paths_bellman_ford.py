@@ -85,11 +85,40 @@ class TestHopLimited:
         assert np.allclose(dist, np.minimum(d0, d1))
 
     def test_work_charged_per_round(self):
+        # each round charges the arcs it actually relaxed: arcs whose
+        # source is still at inf are masked out of gather and ledger.
+        # Path from vertex 0: round 1 sees only 0's arc (1), round 2
+        # the arcs of {0, 1} (1 + 2 = 3).
         g = path_graph(5)
         arcs = arcs_from_graph(g)
         t = PramTracker(n=5, depth_per_round=1)
         _, _, rounds = hop_limited_distances(arcs, np.array([0]), h=2, tracker=t, early_stop=False)
-        assert t.work == rounds * arcs.size
+        assert rounds == 2
+        assert t.work == 1 + 3
+
+    def test_work_full_charge_once_all_reached(self):
+        # once every vertex is labeled the mask is skipped and a round
+        # charges the full arc count, the pre-mask dense semantics
+        g = path_graph(4)
+        arcs = arcs_from_graph(g)
+        t = PramTracker(n=4, depth_per_round=1)
+        hop_limited_distances(arcs, np.arange(4), h=2, tracker=t, early_stop=False)
+        assert t.work == 2 * arcs.size
+
+    def test_inf_source_mask_matches_dense_labels(self, small_weighted):
+        # the mask is a work optimization only: labels and hops equal
+        # an all-sources run where no arc is ever masked
+        arcs = arcs_from_graph(small_weighted)
+        for h in (1, 2, 4, small_weighted.n):
+            dist, hops, _ = hop_limited_distances(arcs, np.array([0]), h=h)
+            ref = np.full(small_weighted.n, np.inf)
+            ref[0] = 0.0
+            for _ in range(h):  # literal dense reference recurrence
+                cand = ref[arcs.src] + arcs.w
+                new = ref.copy()
+                np.minimum.at(new, arcs.dst, cand)
+                ref = new
+            assert np.allclose(dist, ref, equal_nan=True)
 
     def test_sssp_wrapper(self, small_weighted):
         dist, hops = hop_limited_sssp(arcs_from_graph(small_weighted), 0, 5)

@@ -1,0 +1,411 @@
+"""Serving tier tests: frontier h-hop kernel, DistanceServer, CLI.
+
+Three layers are pinned here:
+
+* the frontier-based hop-limited kernel is label-identical to dense
+  synchronous Bellman–Ford (`hop_limited_distances`) for every budget,
+  batched or singleton, warm-started or fresh, for any worker count —
+  and exact against Dijkstra at full convergence;
+* `DistanceServer` semantics: batched answers equal singleton answers,
+  the LRU source-row cache hits/evicts as documented, and the
+  coalescing front door preserves request order;
+* the `serve` CLI contract: build-or-load, query files/stdin, stats.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import cli
+from repro.errors import ParameterError
+from repro.graph import from_edges, gnm_random_graph, grid_graph, with_random_weights
+from repro.hopsets import HopsetParams, build_hopset
+from repro.kernels import hop_sssp_batch, hop_sssp_batch_numba
+from repro.kernels.numba_kernel import HAVE_NUMBA, _hop_sssp_core
+from repro.paths.bellman_ford import (
+    arcs_from_graph,
+    arcset_to_csr,
+    hop_limited_distances,
+)
+from repro.paths.dijkstra import dijkstra_scipy
+from repro.pram import PramTracker
+from repro.serve import DistanceServer, ServerStats, load_hopset, save_hopset
+
+PARAMS = HopsetParams(epsilon=0.5, delta=1.5, gamma1=0.15, gamma2=0.5)
+
+
+def _random_weighted(n, m, seed):
+    g = gnm_random_graph(n, m, seed=seed, connected=True)
+    return with_random_weights(g, 1.0, 9.0, "uniform", seed=seed + 1)
+
+
+@pytest.fixture(scope="module")
+def served():
+    g = _random_weighted(120, 360, seed=5)
+    hs = build_hopset(g, PARAMS, seed=11)
+    return g, hs
+
+
+# ----------------------------------------------------------------------
+# frontier kernel vs dense Bellman-Ford vs Dijkstra
+# ----------------------------------------------------------------------
+class TestFrontierKernel:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 1000),
+        h=st.integers(1, 40),
+        src=st.integers(0, 59),
+    )
+    def test_matches_dense_bellman_ford(self, seed, h, src):
+        g = _random_weighted(60, 150, seed)
+        arcs = arcs_from_graph(g)
+        indptr, indices, w = arcset_to_csr(arcs)
+        dd, dh, _ = hop_limited_distances(arcs, np.array([src]), h)
+        fd, fh, round_arcs, frontier = hop_sssp_batch(
+            indptr, indices, w, g.n, np.array([src]), np.array([0, 1]), h
+        )
+        assert np.allclose(dd, fd, equal_nan=True)
+        assert np.array_equal(dh, fh)
+        if frontier.shape[0] == 0:
+            # converged: full-budget answer is the exact distance
+            assert np.allclose(fd, dijkstra_scipy(g, src))
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 1000), h=st.integers(1, 50))
+    def test_batch_equals_singletons(self, seed, h):
+        g = _random_weighted(50, 120, seed)
+        indptr, indices, w = arcset_to_csr(arcs_from_graph(g))
+        runs = np.array([0, 7, 13, 7])  # duplicate sources allowed
+        bd, bh, _, _ = hop_sssp_batch(
+            indptr, indices, w, g.n, runs, np.arange(5), h
+        )
+        bd, bh = bd.reshape(4, g.n), bh.reshape(4, g.n)
+        for i, s in enumerate(runs):
+            sd, sh, _, _ = hop_sssp_batch(
+                indptr, indices, w, g.n, np.array([s]), np.array([0, 1]), h
+            )
+            assert np.array_equal(bd[i], sd)
+            assert np.array_equal(bh[i], sh)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 1000), cut=st.integers(1, 30))
+    def test_warm_start_equals_fresh(self, seed, cut):
+        g = _random_weighted(60, 150, seed)
+        indptr, indices, w = arcset_to_csr(arcs_from_graph(g))
+        src, ptr = np.array([3]), np.array([0, 1])
+        full_h = 60
+        gd, gh, gra, _ = hop_sssp_batch(indptr, indices, w, g.n, src, ptr, full_h)
+        d1, h1, ra1, fr1 = hop_sssp_batch(indptr, indices, w, g.n, src, ptr, cut)
+        d2, h2, ra2, _ = hop_sssp_batch(
+            indptr, indices, w, g.n, src, ptr, full_h,
+            state=(d1, h1, fr1, cut),
+        )
+        assert np.allclose(d2, gd, equal_nan=True)
+        assert np.array_equal(h2, gh)
+        # every hop executed exactly once across the two calls
+        assert len(ra1) + len(ra2) == len(gra)
+
+    def test_workers_identical(self):
+        g = _random_weighted(80, 240, seed=9)
+        indptr, indices, w = arcset_to_csr(arcs_from_graph(g))
+        runs = np.arange(6)
+        a = hop_sssp_batch(indptr, indices, w, g.n, runs, np.arange(7), 30, workers=1)
+        b = hop_sssp_batch(indptr, indices, w, g.n, runs, np.arange(7), 30, workers=4)
+        assert np.array_equal(a[0], b[0])
+        assert np.array_equal(a[1], b[1])
+        assert a[2] == b[2]
+
+    def test_multi_source_run(self):
+        g = _random_weighted(40, 100, seed=3)
+        arcs = arcs_from_graph(g)
+        indptr, indices, w = arcset_to_csr(arcs)
+        srcs = np.array([0, 5, 9])
+        dd, dh, _ = hop_limited_distances(arcs, srcs, 10)
+        fd, fh, _, _ = hop_sssp_batch(
+            indptr, indices, w, g.n, srcs, np.array([0, 3]), 10
+        )
+        assert np.allclose(dd, fd, equal_nan=True)
+        assert np.array_equal(dh, fh)
+
+    def test_round_arcs_is_the_ledger(self):
+        # a path relaxes one new vertex per round; charged arcs are the
+        # frontier's out-degrees, not the whole arc set
+        g = from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        indptr, indices, w = arcset_to_csr(arcs_from_graph(g))
+        _, _, round_arcs, frontier = hop_sssp_batch(
+            indptr, indices, w, 4, np.array([0]), np.array([0, 1]), 100
+        )
+        assert frontier.shape[0] == 0
+        assert round_arcs == [1, 2, 2, 1]  # deg(0), deg(1), deg(2), deg(3)
+
+    def test_empty_sources_and_empty_graph(self):
+        indptr = np.zeros(4, dtype=np.int64)
+        empty_i = np.empty(0, dtype=np.int64)
+        empty_w = np.empty(0, dtype=np.float64)
+        d, h, ra, fr = hop_sssp_batch(
+            indptr, empty_i, empty_w, 3, empty_i, np.array([0, 0]), 5
+        )
+        assert np.isinf(d).all() and not ra and fr.shape[0] == 0
+
+    def test_stub_core_matches_numpy(self, served):
+        # the numba core runs as pure Python without the JIT — same labels
+        g, hs = served
+        indptr, indices, w = hs.union_csr()
+        for h in (1, 4, 30):
+            cd, ch, rounds, arcs = _hop_sssp_core(
+                indptr, indices, w, g.n, np.array([7]), h
+            )
+            fd, fh, ra, _ = hop_sssp_batch(
+                indptr, indices, w, g.n, np.array([7]), np.array([0, 1]), h
+            )
+            assert np.allclose(cd, fd, equal_nan=True)
+            assert np.array_equal(ch, fh)
+            assert rounds <= len(ra) + 1
+
+    def test_numba_wrapper_rejects_state(self):
+        with pytest.raises(ValueError, match="warm-start"):
+            hop_sssp_batch_numba(
+                np.zeros(2, np.int64), np.empty(0, np.int64), np.empty(0),
+                1, np.array([0]), np.array([0, 1]), 5,
+                state=(None, None, None, 0),
+            )
+
+    @pytest.mark.skipif(not HAVE_NUMBA, reason="numba not installed")
+    def test_numba_twin_matches_numpy(self, served):
+        g, hs = served
+        indptr, indices, w = hs.union_csr()
+        runs = np.array([0, 11, 29, 11])
+        ptr = np.arange(5)
+        for workers in (1, 2):
+            nd, nh, nra, nfr = hop_sssp_batch_numba(
+                indptr, indices, w, g.n, runs, ptr, 40, workers=workers
+            )
+            fd, fh, _, _ = hop_sssp_batch(indptr, indices, w, g.n, runs, ptr, 40)
+            assert np.allclose(nd, fd, equal_nan=True)
+            assert np.array_equal(nh, fh)
+            assert nfr.shape[0] == 0
+
+
+# ----------------------------------------------------------------------
+# DistanceServer
+# ----------------------------------------------------------------------
+class TestDistanceServer:
+    def test_exact_at_convergence(self, served):
+        g, hs = served
+        srv = DistanceServer(hs)
+        for s in (0, 17, 63):
+            assert np.allclose(srv.distance_row(s), dijkstra_scipy(g, s))
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 500))
+    def test_batched_equals_singleton(self, served, seed):
+        g, hs = served
+        rng = np.random.default_rng(seed)
+        pairs = rng.integers(0, g.n, size=(12, 2))
+        batched = DistanceServer(hs).query_batch(pairs)
+        single_srv = DistanceServer(hs, cache_rows=0)
+        singles = np.array([single_srv.query(s, t) for s, t in pairs])
+        assert np.array_equal(batched, singles)
+        # cache off: every singleton query paid its own kernel run
+        assert single_srv.stats.kernel_runs == len(pairs)
+
+    def test_hop_budget_matches_dense(self, served):
+        g, hs = served
+        srv = DistanceServer(hs, h=5)
+        dd, _, _ = hop_limited_distances(hs.arcs(), np.array([4]), 5)
+        assert np.array_equal(srv.distance_row(4), dd)
+
+    def test_front_door_ordering_with_duplicates(self, served):
+        g, hs = served
+        srv = DistanceServer(hs)
+        pairs = [(9, 1), (2, 5), (9, 8), (2, 5), (0, 9)]
+        out = srv.query_batch(pairs)
+        expect = [srv.query(s, t) for s, t in pairs]
+        assert list(out) == expect
+        # 5 queries, 3 distinct sources, one coalesced kernel call
+        assert srv.stats.kernel_runs == 3
+        assert srv.stats.kernel_calls == 1  # singletons after all hit the cache
+        assert srv.stats.cache_hits == len(pairs)
+
+    def test_lru_hit_and_eviction(self, served):
+        _, hs = served
+        srv = DistanceServer(hs, cache_rows=2)
+        srv.query(0, 1)
+        srv.query(1, 2)
+        assert srv.stats.cache_misses == 2 and srv.stats.cache_hits == 0
+        srv.query(0, 5)  # hit; 0 becomes most recent
+        assert srv.stats.cache_hits == 1
+        srv.query(2, 3)  # evicts 1 (LRU)
+        assert srv.stats.cache_evictions == 1
+        assert srv.cached_sources() == [0, 2]
+        srv.query(1, 4)  # miss again
+        assert srv.stats.cache_misses == 4
+
+    def test_chunked_coalescing(self, served):
+        _, hs = served
+        srv = DistanceServer(hs, max_batch_runs=2)
+        srv.query_batch([(0, 1), (1, 1), (2, 1), (3, 1), (4, 1)])
+        assert srv.stats.kernel_runs == 5
+        assert srv.stats.kernel_calls == 3  # ceil(5 / 2)
+
+    def test_distances_matrix(self, served):
+        g, hs = served
+        srv = DistanceServer(hs)
+        D = srv.distances([3, 8, 3])
+        assert D.shape == (3, g.n)
+        assert np.array_equal(D[0], D[2])
+        assert np.allclose(D[1], dijkstra_scipy(g, 8))
+
+    def test_tracker_charged(self, served):
+        g, hs = served
+        t = PramTracker(n=g.n, depth_per_round=1)
+        srv = DistanceServer(hs, tracker=t)
+        srv.query(0, 1)
+        assert t.rounds == srv.stats.rounds > 0
+        assert t.work == srv.stats.arcs > 0
+
+    def test_parameter_validation(self, served):
+        g, hs = served
+        with pytest.raises(ParameterError):
+            DistanceServer(hs, cache_rows=-1)
+        with pytest.raises(ParameterError):
+            DistanceServer(hs, max_batch_runs=0)
+        with pytest.raises(ParameterError):
+            DistanceServer(hs, h=0)
+        with pytest.raises(ParameterError):
+            DistanceServer(hs, backend="reference")
+        srv = DistanceServer(hs)
+        with pytest.raises(ParameterError):
+            srv.query(-1, 0)
+        with pytest.raises(ParameterError):
+            srv.query(0, g.n)
+        with pytest.raises(ParameterError):
+            srv.query_batch([(0, g.n)])
+
+    def test_empty_batch(self, served):
+        _, hs = served
+        srv = DistanceServer(hs)
+        assert srv.query_batch([]).shape == (0,)
+        assert srv.distances([]).shape == (0, hs.graph.n)
+
+    def test_numba_fallback_monkeypatch(self, served, monkeypatch):
+        import repro.kernels as kernels
+
+        _, hs = served
+        monkeypatch.setattr(kernels, "HAVE_NUMBA", False)
+        monkeypatch.setattr(kernels, "_warned_numba", False)
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            srv = DistanceServer(hs, backend="numba")
+        assert srv.backend == "numpy"
+        assert np.isfinite(srv.query(0, 1))
+
+    @pytest.mark.skipif(not HAVE_NUMBA, reason="numba not installed")
+    def test_numba_backend_matches_numpy(self, served):
+        _, hs = served
+        pairs = [(0, 5), (9, 2), (0, 7)]
+        a = DistanceServer(hs, backend="numpy").query_batch(pairs)
+        b = DistanceServer(hs, backend="numba").query_batch(pairs)
+        assert np.array_equal(a, b)
+
+    def test_stats_as_dict_roundtrip(self):
+        st_ = ServerStats(queries=3, cache_hits=1)
+        d = st_.as_dict()
+        assert d["queries"] == 3 and d["cache_hits"] == 1
+
+
+# ----------------------------------------------------------------------
+# persistence + CLI
+# ----------------------------------------------------------------------
+class TestPersistenceAndCLI:
+    def test_save_load_roundtrip(self, served, tmp_path):
+        g, hs = served
+        path = str(tmp_path / "hs.npz")
+        save_hopset(hs, path)
+        hs2 = load_hopset(g, path)
+        assert hs2.size == hs.size
+        assert np.array_equal(hs2.eu, hs.eu)
+        assert np.array_equal(hs2.ew, hs.ew)
+        assert hs2.meta == hs.meta
+
+    def test_load_wrong_graph_rejected(self, served, tmp_path):
+        g, hs = served
+        path = str(tmp_path / "hs.npz")
+        save_hopset(hs, path)
+        other = grid_graph(3, 3)
+        with pytest.raises(ParameterError, match="built for"):
+            load_hopset(other, path)
+
+    def test_cli_build_then_load(self, tmp_path, capsys):
+        from repro.graph.io import save_edgelist
+
+        g = grid_graph(8, 8)
+        gpath = str(tmp_path / "g.txt")
+        save_edgelist(g, gpath)
+        hpath = str(tmp_path / "hs.npz")
+        qpath = str(tmp_path / "q.txt")
+        with open(qpath, "w", encoding="utf-8") as f:
+            f.write("# header comment\n0 63\n5 40\n0 13\n")
+
+        rc = cli.main(["serve", "-i", gpath, "--hopset", hpath, "--queries", qpath])
+        out1 = capsys.readouterr().out
+        assert rc == 0
+        assert "built hopset" in out1 and "saved hopset" in out1
+        assert "served 3 queries" in out1
+
+        rc = cli.main(["serve", "-i", gpath, "--hopset", hpath, "--queries", qpath])
+        out2 = capsys.readouterr().out
+        assert rc == 0
+        assert "loaded hopset" in out2
+        # answers are identical between build and load runs, and exact
+        answers1 = [line for line in out1.splitlines() if line.count(" ") == 2
+                    and not line.startswith(("built", "saved", "loaded", "graph", "served"))]
+        answers2 = [line for line in out2.splitlines() if line.count(" ") == 2
+                    and not line.startswith(("built", "saved", "loaded", "graph", "served"))]
+        assert answers1 == answers2
+        s, t, d = answers1[0].split()
+        assert (int(s), int(t)) == (0, 63)
+        assert float(d) == pytest.approx(dijkstra_scipy(g, 0)[63])
+
+    def test_cli_stdin_queries(self, tmp_path, capsys, monkeypatch):
+        import io
+
+        from repro.graph.io import save_edgelist
+
+        g = grid_graph(5, 5)
+        gpath = str(tmp_path / "g.txt")
+        save_edgelist(g, gpath)
+        monkeypatch.setattr("sys.stdin", io.StringIO("0 24\n"))
+        rc = cli.main(["serve", "-i", gpath])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "0 24 8" in out
+
+    def test_cli_malformed_query_errors(self, tmp_path, capsys):
+        from repro.graph.io import save_edgelist
+
+        g = grid_graph(4, 4)
+        gpath = str(tmp_path / "g.txt")
+        save_edgelist(g, gpath)
+        qpath = str(tmp_path / "q.txt")
+        with open(qpath, "w", encoding="utf-8") as f:
+            f.write("7\n")
+        rc = cli.main(["serve", "-i", gpath, "--queries", qpath])
+        assert rc == 2
+        assert "malformed" in capsys.readouterr().err
+
+    def test_cli_hop_budget_flag(self, tmp_path, capsys):
+        from repro.graph.io import save_edgelist
+
+        g = grid_graph(6, 6)
+        save_edgelist(g, str(tmp_path / "g.txt"))
+        qpath = str(tmp_path / "q.txt")
+        with open(qpath, "w", encoding="utf-8") as f:
+            f.write("0 35\n")
+        rc = cli.main([
+            "serve", "-i", str(tmp_path / "g.txt"), "--queries", qpath,
+            "--hops", "2", "--cache-rows", "4", "--batch", "2",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "h=2" in out
