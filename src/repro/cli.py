@@ -60,12 +60,40 @@ from repro.pram import PramTracker
 
 def _load_graph(args) -> "object":
     if args.input:
-        return load_edgelist(args.input)
+        import os
+
+        path = args.input
+        if os.path.isdir(path):
+            from repro.graph.storage import load_store
+
+            # a store directory: memmap-backed unless --no-mmap
+            mode = None if getattr(args, "no_mmap", False) else "r"
+            return load_store(path, mmap_mode=mode)
+        if path.endswith(".npz"):
+            from repro.graph.io import load_npz
+
+            return load_npz(path)
+        if path.endswith(".bin"):
+            from repro.graph.io import load_edgelist_binary
+
+            return load_edgelist_binary(path)
+        return load_edgelist(path)
     return gnm_random_graph(args.n, args.m, seed=args.seed, connected=True)
 
 
 def _add_io_args(p: argparse.ArgumentParser) -> None:
-    p.add_argument("-i", "--input", help="edge list file (otherwise a G(n,m) is generated)")
+    p.add_argument(
+        "-i",
+        "--input",
+        help="input graph: edge list (.txt), binary edge list (.bin), "
+        ".npz archive, or a store directory written by `repro ingest` "
+        "(otherwise a G(n,m) is generated)",
+    )
+    p.add_argument(
+        "--no-mmap",
+        action="store_true",
+        help="load store-directory inputs eagerly instead of memmap-backed",
+    )
     p.add_argument("--n", type=int, default=1000, help="vertices for generated input")
     p.add_argument("--m", type=int, default=5000, help="edges for generated input")
     p.add_argument("--seed", type=int, default=0)
@@ -79,11 +107,28 @@ def _add_workers_arg(p: argparse.ArgumentParser) -> None:
         help="engine worker threads (1 = serial, 0 or negative = all cores); "
         "results are identical for every value",
     )
+    p.add_argument(
+        "--shard-mode",
+        choices=["thread", "process"],
+        default="thread",
+        help="how relaxation frontiers are sharded with --workers > 1: "
+        "GIL-released numpy threads (default) or forked processes with "
+        "shared-memory labels (parallelizes the claim passes too); "
+        "results are identical either way",
+    )
 
 
 def _workers_from_args(args) -> "Optional[int]":
+    from repro.parallel import set_default_workers, set_shard_mode
+
+    set_shard_mode(getattr(args, "shard_mode", "thread"))
     w = getattr(args, "workers", 1)
-    return None if w is not None and w <= 0 else w
+    w = None if w is not None and w <= 0 else w
+    # the CLI worker request is also the session policy: engine calls
+    # made deep inside the batched builders (no explicit workers
+    # argument) follow the same knob
+    set_default_workers(w)
+    return w
 
 
 def _add_backend_arg(p: argparse.ArgumentParser) -> None:
@@ -228,6 +273,24 @@ def cmd_serve(args) -> int:
         f"{st.cache_hits} cache hits / {st.cache_misses} misses "
         f"({st.cache_evictions} evictions), {st.rounds} rounds, "
         f"{st.arcs} arcs relaxed"
+    )
+    return 0
+
+
+def cmd_ingest(args) -> int:
+    from repro.graph.storage import (
+        DEFAULT_CHUNK_EDGES,
+        ingest_edgelist,
+        ingest_edgelist_binary,
+    )
+
+    ingest = ingest_edgelist_binary if args.input.endswith(".bin") else ingest_edgelist
+    chunk = args.chunk_edges or DEFAULT_CHUNK_EDGES
+    g, stats = ingest(args.input, args.output, chunk_edges=chunk)
+    print(
+        f"ingested {args.input} -> {args.output}: n={g.n} m={g.m} "
+        f"(raw={stats.raw_edges}, self_loops={stats.self_loops}, "
+        f"merged={stats.merged_duplicates}, chunks={stats.chunks})"
     )
     return 0
 
@@ -417,6 +480,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output", help="write the sparsifier edge list here")
     p.set_defaults(fn=cmd_sparsify)
 
+    p = sub.add_parser(
+        "ingest",
+        help="stream an edge list into a memmap-ready store directory",
+    )
+    p.add_argument("input", help="text (.txt) or binary (.bin) edge list")
+    p.add_argument("output", help="store directory to create")
+    p.add_argument(
+        "--chunk-edges",
+        type=int,
+        default=None,
+        help="edges per streaming chunk (default 4M)",
+    )
+    p.set_defaults(fn=cmd_ingest)
+
     return ap
 
 
@@ -434,7 +511,22 @@ def main(argv: Optional[list[str]] = None) -> int:
         except ParameterError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
-    return args.fn(args)
+    from repro.parallel import (
+        get_default_workers,
+        get_shard_mode,
+        set_default_workers,
+        set_shard_mode,
+    )
+
+    # --workers/--shard-mode set session-wide policy for the duration of
+    # the command; restore afterwards so programmatic main() callers
+    # (tests, notebooks) don't inherit one command's knobs
+    prev_policy, prev_mode = get_default_workers(), get_shard_mode()
+    try:
+        return args.fn(args)
+    finally:
+        set_default_workers(prev_policy)
+        set_shard_mode(prev_mode)
 
 
 if __name__ == "__main__":

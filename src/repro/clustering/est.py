@@ -28,6 +28,7 @@ from repro.paths.weighted_bfs import weighted_bfs_with_start_times
 from repro.pram.tracker import PramTracker, null_tracker
 from repro.rng import SeedLike
 from repro.clustering.shifts import sample_shifts
+from repro.parallel.pool import DEFAULT_WORKERS, WorkersArg
 
 
 @dataclass(frozen=True)
@@ -186,7 +187,7 @@ def est_cluster(
     tracker: Optional[PramTracker] = None,
     shifts: Optional[np.ndarray] = None,
     backend: Optional[str] = None,
-    workers: Optional[int] = 1,
+    workers: WorkersArg = DEFAULT_WORKERS,
 ) -> Clustering:
     """Run EST clustering on ``g`` with parameter ``beta``.
 
@@ -335,7 +336,7 @@ def est_cluster_forest(
     method: str = "auto",
     tracker: Optional[PramTracker] = None,
     backend: Optional[str] = None,
-    workers: Optional[int] = 1,
+    workers: WorkersArg = DEFAULT_WORKERS,
 ) -> Clustering:
     """EST-cluster every block of a block-diagonal union in one race.
 

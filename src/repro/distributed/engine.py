@@ -37,7 +37,7 @@ import numpy as np
 from repro.errors import ParameterError
 from repro.graph.csr import CSRGraph
 from repro.parallel.chunking import shard_frontier
-from repro.parallel.pool import effective_workers
+from repro.parallel.pool import DEFAULT_WORKERS, WorkersArg, effective_workers
 
 
 @dataclass
@@ -134,7 +134,7 @@ class SyncNetwork:
         self,
         program: NodeProgram,
         max_rounds: int = 10**6,
-        workers: Optional[int] = 1,
+        workers: WorkersArg = DEFAULT_WORKERS,
     ) -> List[RoundStats]:
         """Execute until quiescence (all done, no messages) or max_rounds.
 

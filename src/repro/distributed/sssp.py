@@ -27,6 +27,7 @@ import numpy as np
 from repro.distributed.engine import NodeProgram, SyncNetwork
 from repro.errors import ParameterError
 from repro.graph.csr import CSRGraph
+from repro.parallel.pool import DEFAULT_WORKERS, WorkersArg
 
 
 class _SSSPProgram(NodeProgram):
@@ -86,7 +87,7 @@ def distributed_sssp(
     offsets: Optional[np.ndarray] = None,
     congest_words: int = 4,
     max_rounds: int = 10**6,
-    workers: Optional[int] = 1,
+    workers: WorkersArg = DEFAULT_WORKERS,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, SyncNetwork]:
     """Run the synchronous weighted SSSP protocol.
 

@@ -32,6 +32,14 @@ from repro.graph.metrics import (
     eccentricity,
     sampled_eccentricities,
 )
+from repro.graph.storage import (
+    IngestStats,
+    ingest_edge_chunks,
+    ingest_edgelist,
+    ingest_edgelist_binary,
+    load_store,
+    save_store,
+)
 from repro.graph.generators import (
     gnm_random_graph,
     grid_graph,
@@ -84,4 +92,10 @@ __all__ = [
     "random_geometric_graph",
     "with_random_weights",
     "hard_weight_graph",
+    "IngestStats",
+    "ingest_edge_chunks",
+    "ingest_edgelist",
+    "ingest_edgelist_binary",
+    "load_store",
+    "save_store",
 ]

@@ -39,8 +39,12 @@ from repro.errors import GraphFormatError
 
 
 def _freeze(a: np.ndarray) -> np.ndarray:
+    # np.ascontiguousarray on an already-contiguous array (including a
+    # np.memmap: subok=False demotes it to a base-class ndarray *view*)
+    # is copy-free, so freezing never materializes memmap pages
     a = np.ascontiguousarray(a)
-    a.setflags(write=False)
+    if a.flags.writeable:
+        a.setflags(write=False)
     return a
 
 
@@ -214,6 +218,58 @@ class CSRGraph:
 
     def __hash__(self) -> int:  # frozen dataclass wants it; identity is fine
         return id(self)
+
+
+def csr_from_arrays(
+    n: int,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    weights: np.ndarray,
+    edge_ids: np.ndarray,
+    edge_u: np.ndarray,
+    edge_v: np.ndarray,
+    edge_w: np.ndarray,
+) -> CSRGraph:
+    """Wrap *already-assembled* CSR + edge arrays as a :class:`CSRGraph`
+    without sorting, casting, or copying.
+
+    This is the construction path for storage formats that persist the
+    CSR layout directly (:mod:`repro.graph.storage` stores,
+    ``save_npz(layout="csr")``): loading must not repeat the
+    counting-sort that :func:`build_csr` already did at build time, and
+    ``np.memmap``-backed arrays must pass through untouched so their
+    pages stay lazy.  Integer arrays may be compact dtypes (``int32``
+    when the value range allows) — every consumer indexes with them,
+    and numpy promotes in arithmetic.
+
+    Only O(1) structural checks are performed (the caller vouches for
+    the content, exactly as with :func:`build_csr`): array lengths must
+    be mutually consistent and ``indptr`` must cover ``indices``.
+    """
+    num_arcs = int(indices.shape[0])
+    m = int(edge_u.shape[0])
+    if indptr.shape[0] != n + 1:
+        raise GraphFormatError(
+            f"indptr must have n + 1 = {n + 1} entries, got {indptr.shape[0]}"
+        )
+    if weights.shape[0] != num_arcs or edge_ids.shape[0] != num_arcs:
+        raise GraphFormatError("weights/edge_ids must match indices length")
+    if edge_v.shape[0] != m or edge_w.shape[0] != m:
+        raise GraphFormatError("edge arrays must have equal length")
+    if (n and (int(indptr[0]) != 0 or int(indptr[-1]) != num_arcs)) or (
+        n == 0 and num_arcs
+    ):
+        raise GraphFormatError("indptr does not cover the arc arrays")
+    return CSRGraph(
+        n=n,
+        indptr=_freeze(indptr),
+        indices=_freeze(indices),
+        weights=_freeze(weights),
+        edge_ids=_freeze(edge_ids),
+        edge_u=_freeze(edge_u),
+        edge_v=_freeze(edge_v),
+        edge_w=_freeze(edge_w),
+    )
 
 
 def build_csr(

@@ -30,6 +30,7 @@ from repro.hopsets.unweighted import build_hopset
 from repro.paths.bellman_ford import ArcSet, arcs_from_graph, combine_arcs, hop_limited_distances
 from repro.pram.tracker import PramTracker, null_tracker
 from repro.rng import SeedLike, resolve_rng, spawn
+from repro.parallel.pool import DEFAULT_WORKERS, WorkersArg
 
 
 @dataclass(frozen=True)
@@ -76,7 +77,7 @@ def build_limited_hopset(
     seed: SeedLike = None,
     tracker: Optional[PramTracker] = None,
     strategy: str = "batched",
-    workers: Optional[int] = 1,
+    workers: WorkersArg = DEFAULT_WORKERS,
 ) -> LimitedHopset:
     """Run the Theorem C.2 iteration on ``g``.
 

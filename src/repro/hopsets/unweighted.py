@@ -52,7 +52,7 @@ from repro.clustering.est import Clustering, est_cluster, est_cluster_forest
 from repro.clustering.shifts import sample_shifts
 from repro.errors import ParameterError
 from repro.graph.builders import induced_subgraph, induced_subgraph_forest
-from repro.graph.csr import CSRGraph
+from repro.graph.csr import CSRGraph, csr_from_arrays
 from repro.hopsets.params import HopsetParams
 from repro.hopsets.result import HopsetResult, LevelStats
 from repro.paths.bfs import bfs
@@ -60,6 +60,7 @@ from repro.paths.engine import shortest_paths, shortest_paths_batch
 from repro.paths.weighted_bfs import dial_sssp
 from repro.pram.tracker import PramTracker, null_tracker
 from repro.rng import SeedLike, resolve_rng, spawn_seeds
+from repro.parallel.pool import DEFAULT_WORKERS, WorkersArg
 
 # cap on rows x columns of one batched center-search distance matrix;
 # levels with more large clusters than fit are resolved in a few
@@ -138,7 +139,7 @@ def _center_distances(
     center: int,
     tracker: PramTracker,
     backend: Optional[str] = None,
-    workers: Optional[int] = 1,
+    workers: WorkersArg = DEFAULT_WORKERS,
 ) -> np.ndarray:
     """Distances from one center in the current subgraph (the Line 9 BFS).
 
@@ -190,7 +191,7 @@ def _recurse(
     out: _Collector,
     star_weights: str = "tree",
     backend: "Optional[str]" = None,
-    workers: Optional[int] = 1,
+    workers: WorkersArg = DEFAULT_WORKERS,
 ) -> None:
     n_sub = sub.n
     n_final = params.n_final(n_top)
@@ -378,7 +379,7 @@ def _emit_level_edges(
     backend: Optional[str],
     tracker: PramTracker,
     out: _Collector,
-    workers: Optional[int] = 1,
+    workers: WorkersArg = DEFAULT_WORKERS,
 ) -> None:
     """Star and clique edges for one level, as vectorized label passes.
 
@@ -470,7 +471,9 @@ def _build_level_sync(
     out: _Collector,
     star_weights: str = "tree",
     backend: Optional[str] = None,
-    workers: Optional[int] = 1,
+    workers: WorkersArg = DEFAULT_WORKERS,
+    checkpoint_path=None,
+    checkpoint_every: int = 1,
 ) -> None:
     """Level-synchronous execution of Algorithm 4 (the batched strategy).
 
@@ -492,12 +495,70 @@ def _build_level_sync(
     if g.n <= n_final:
         return
 
-    union = g
-    vmap = np.arange(g.n, dtype=np.int64)
-    ptr = np.asarray([0, g.n], dtype=np.int64)
-    rngs: List[np.random.Generator] = [rng]
-    level = 0
+    fp = None
+    if checkpoint_path is not None:
+        from repro import checkpoint as _ckpt
+
+        # the entry RNG state binds the checkpoint to the seed: resuming
+        # under a different (or absent) seed is a fingerprint mismatch
+        fp = _ckpt.graph_fingerprint(
+            g, params, n_top, method, star_weights, _ckpt.rng_state(rng)
+        )
+        saved = _ckpt.load_if_exists(checkpoint_path, "hopset", fp)
+    else:
+        saved = None
+
+    if saved is not None:
+        a = saved.arrays
+        union = csr_from_arrays(
+            int(saved.scalars["union_n"]),
+            a["g_indptr"], a["g_indices"], a["g_weights"], a["g_edge_ids"],
+            a["g_edge_u"], a["g_edge_v"], a["g_edge_w"],
+        )
+        vmap = a["vmap"]
+        ptr = a["ptr"]
+        rngs = [_ckpt.rng_from_state(s) for s in saved.rng_states]
+        level = saved.level
+        if a["out_eu"].size:
+            out.eu = [a["out_eu"]]
+            out.ev = [a["out_ev"]]
+            out.ew = [a["out_ew"]]
+            out.kind = [a["out_kind"]]
+        out.level_stats = {
+            int(lv): st for lv, st in saved.scalars["level_stats"].items()
+        }
+    else:
+        union = g
+        vmap = np.arange(g.n, dtype=np.int64)
+        ptr = np.asarray([0, g.n], dtype=np.int64)
+        rngs = [rng]
+        level = 0
     while rngs and level < params.max_levels:
+        if checkpoint_path is not None and level and level % checkpoint_every == 0:
+            from repro import checkpoint as _ckpt
+
+            _ckpt.BuildCheckpoint(
+                kind="hopset",
+                fingerprint=fp,
+                level=level,
+                rng_states=[_ckpt.rng_state(r) for r in rngs],
+                arrays={
+                    "g_indptr": union.indptr,
+                    "g_indices": union.indices,
+                    "g_weights": union.weights,
+                    "g_edge_ids": union.edge_ids,
+                    "g_edge_u": union.edge_u,
+                    "g_edge_v": union.edge_v,
+                    "g_edge_w": union.edge_w,
+                    "vmap": vmap,
+                    "ptr": np.asarray(ptr),
+                    "out_eu": np.concatenate(out.eu) if out.eu else np.empty(0, np.int64),
+                    "out_ev": np.concatenate(out.ev) if out.ev else np.empty(0, np.int64),
+                    "out_ew": np.concatenate(out.ew) if out.ew else np.empty(0, np.float64),
+                    "out_kind": np.concatenate(out.kind) if out.kind else np.empty(0, np.int8),
+                },
+                scalars={"union_n": int(union.n), "level_stats": out.level_stats},
+            ).save(checkpoint_path)
         k = len(rngs)
         gsizes = np.diff(ptr)
         beta = params.beta_at(level, n_top)
@@ -584,7 +645,9 @@ def build_hopset(
     tracker: Optional[PramTracker] = None,
     backend: Optional[str] = None,
     strategy: str = "batched",
-    workers: Optional[int] = 1,
+    workers: WorkersArg = DEFAULT_WORKERS,
+    checkpoint_path=None,
+    checkpoint_every: int = 1,
 ) -> HopsetResult:
     """Run Algorithm 4 on ``g`` and return the hopset.
 
@@ -629,6 +692,10 @@ def build_hopset(
         raise ParameterError("star_weights must be 'tree' or 'exact'")
     if strategy not in ("batched", "recursive"):
         raise ParameterError("strategy must be 'batched' or 'recursive'")
+    if checkpoint_path is not None and strategy != "batched":
+        raise ParameterError("checkpointing requires strategy='batched'")
+    if checkpoint_every < 1:
+        raise ParameterError("checkpoint_every must be >= 1")
     tracker = tracker or null_tracker()
     rng = resolve_rng(seed)
     out = _Collector()
@@ -645,6 +712,8 @@ def build_hopset(
                 star_weights=star_weights,
                 backend=backend,
                 workers=workers,
+                checkpoint_path=checkpoint_path,
+                checkpoint_every=checkpoint_every,
             )
         else:
             _recurse(
@@ -662,6 +731,10 @@ def build_hopset(
                 backend=backend,
                 workers=workers,
             )
+    if checkpoint_path is not None:
+        from repro import checkpoint as _ckpt
+
+        _ckpt.clear(checkpoint_path)  # the finished build owns no stale state
     meta = {
         "epsilon": params.epsilon,
         "delta": params.delta,

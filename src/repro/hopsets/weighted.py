@@ -35,6 +35,7 @@ from repro.hopsets.query import suggested_hop_bound
 from repro.paths.bellman_ford import hop_limited_distances
 from repro.pram.tracker import PramTracker, null_tracker
 from repro.rng import SeedLike, resolve_rng, spawn
+from repro.parallel.pool import DEFAULT_WORKERS, WorkersArg
 
 
 @dataclass(frozen=True)
@@ -161,7 +162,7 @@ def build_weighted_hopset(
     backend: Optional[str] = None,
     strategy: str = "batched",
     rounding: bool = True,
-    workers: Optional[int] = 1,
+    workers: WorkersArg = DEFAULT_WORKERS,
 ) -> WeightedHopset:
     """Build per-scale hopsets for a positively weighted graph.
 

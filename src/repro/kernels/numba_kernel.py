@@ -51,7 +51,7 @@ from typing import List, Tuple
 
 import numpy as np
 
-from repro.parallel.pool import effective_workers
+from repro.parallel.pool import DEFAULT_WORKERS, effective_workers
 
 try:  # pragma: no cover - exercised only where numba is installed
     from numba import njit, prange
@@ -537,7 +537,7 @@ def hop_sssp_batch_numba(
     run_src: np.ndarray,
     run_ptr: np.ndarray,
     h: int,
-    workers=1,
+    workers=DEFAULT_WORKERS,
     state=None,
 ) -> Tuple[np.ndarray, np.ndarray, List[int], np.ndarray]:
     """JIT twin of :func:`repro.kernels.numpy_kernel.hop_sssp_batch`.
@@ -679,7 +679,7 @@ def bucket_sssp_batch_numba(
     delta,
     max_dist=None,
     light_heavy=None,
-    workers=1,
+    workers=DEFAULT_WORKERS,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, List[int], List[int]]:
     """Batch counterpart of :func:`repro.kernels.numpy_kernel.bucket_sssp_batch`.
 

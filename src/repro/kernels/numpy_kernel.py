@@ -54,6 +54,21 @@ the two-level min equals the serial global min **bit for bit**, for
 any shard count — results are independent of ``workers`` and of how
 the frontier happened to be split.  All label writes stay on the
 coordinating thread; worker threads only read the pre-round snapshot.
+
+Process shard mode
+------------------
+Threads only help inside the GIL-released gather ops; the claim
+``lexsort`` and boolean reductions serialize.  With
+``repro.parallel.set_shard_mode("process")`` the bucket kernel runs
+the same shard plan on a :class:`repro.parallel.process.ForkShardPool`
+instead: the ``dist``/``rank`` labels and a frontier scratch buffer
+live in shared anonymous mmaps (fork-shared, not copy-on-write), the
+gather closure and the CSR arrays are inherited by the forked workers
+for free, and per round each worker receives only its scratch bounds
+and returns its claim-reduced shard winners.  The merge is the same
+min-``(cand, rank, src)`` pass, so labels and ledgers are bit-equal to
+thread mode and serial for any worker count.  Falls back to threads
+where ``fork`` is unavailable.  ``workers=1`` never forks.
 """
 
 from __future__ import annotations
@@ -64,7 +79,13 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.parallel.chunking import shard_frontier
-from repro.parallel.pool import effective_workers
+from repro.parallel.pool import (
+    DEFAULT_WORKERS,
+    WorkersArg,
+    effective_workers,
+    get_shard_mode,
+)
+from repro.parallel.process import ForkShardPool, fork_available, shared_empty
 
 INT_INF = np.iinfo(np.int64).max
 
@@ -160,7 +181,7 @@ def hop_sssp_batch(
     run_src: np.ndarray,
     run_ptr: np.ndarray,
     h: int,
-    workers: Optional[int] = 1,
+    workers: WorkersArg = DEFAULT_WORKERS,
     state: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray, int]] = None,
 ) -> Tuple[np.ndarray, np.ndarray, List[int], np.ndarray]:
     """Source-tagged batch of ``k`` frontier-based h-hop Bellman–Ford runs.
@@ -307,7 +328,7 @@ def bucket_sssp(
     delta,
     max_dist=None,
     light_heavy=None,
-    workers: Optional[int] = 1,
+    workers: WorkersArg = DEFAULT_WORKERS,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, List[int], List[int]]:
     """Multi-source bucket SSSP over raw CSR arrays.
 
@@ -372,7 +393,7 @@ def bucket_sssp_batch(
     delta,
     max_dist=None,
     light_heavy=None,
-    workers: Optional[int] = 1,
+    workers: WorkersArg = DEFAULT_WORKERS,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, List[int], List[int]]:
     """Source-tagged batch of ``k`` independent bucket-SSSP runs.
 
@@ -420,10 +441,22 @@ def bucket_sssp_batch(
     single = k == 1  # composite id == vertex id: skip tag arithmetic
     nn = k * n
 
-    dist = np.full(nn, inf, dtype=dtype)
+    nw = effective_workers(workers, oversubscribe=True)
+    # process shard mode: the mutable state the forked workers read
+    # (labels + the frontier scratch) must live in fork-shared mmaps,
+    # decided before the first label write
+    use_procs = nw > 1 and get_shard_mode() == "process" and fork_available()
+    if use_procs:
+        dist = shared_empty(nn, dtype)
+        dist[:] = inf
+        rank = shared_empty(nn, np.int64)
+        rank[:] = np.iinfo(np.int64).max
+        scratch = shared_empty(nn, np.int64)
+    else:
+        dist = np.full(nn, inf, dtype=dtype)
+        rank = np.full(nn, np.iinfo(np.int64).max, dtype=np.int64)
     parent = np.full(nn, -1, dtype=np.int64)
     owner = np.full(nn, -1, dtype=np.int64)
-    rank = np.full(nn, np.iinfo(np.int64).max, dtype=np.int64)
     settled = np.zeros(nn, dtype=bool)
     bucket_work: List[int] = []
     bucket_rounds: List[int] = []
@@ -432,11 +465,17 @@ def bucket_sssp_batch(
     w_const = None
     if weights.shape[0] and (weights == weights[0]).all():
         w_const = weights[0]
-    nw = effective_workers(workers, oversubscribe=True)
-    # the executor is created lazily on the first shardable frontier:
+    # executors are created lazily on the first shardable frontier:
     # batched builders issue many engine calls whose frontiers never
-    # reach the shard threshold, and those must not pay pool churn
+    # reach the shard threshold, and those must not pay pool/fork churn
     pool: Optional[ThreadPoolExecutor] = None
+    ppool: Optional[ForkShardPool] = None
+    # adjacency registry for process-mode tasks: a tiny id crosses the
+    # pipe instead of arrays (0 = full CSR, 1/2 = light/heavy split)
+    adjacencies = {0: (indptr, indices, weights)}
+    if light_heavy is not None:
+        adjacencies[1] = light_heavy[:3]
+        adjacencies[2] = light_heavy[3:]
 
     def _claim(nbr, src, cand):
         """Min ``(cand, rank, src)`` reduction per claimed state: one
@@ -479,20 +518,41 @@ def bucket_sssp_batch(
         nbr, src, cand = _claim(nbr[improving], arc_src[improving], cand[improving])
         return nbr, src, cand, total
 
-    def _relax_round(frontier, xip, xidx, xw, wc=None):
+    def _proc_gather(adj_id, lo, hi, wc):
+        """Worker-side shard gather (runs in a forked child): the shard
+        is read from the fork-shared scratch buffer, the adjacency from
+        the fork-inherited snapshot, labels from the shared mmaps."""
+        xip, xidx, xw = adjacencies[adj_id]
+        return _gather_shard(scratch[lo:hi], xip, xidx, xw, wc)
+
+    def _relax_round(frontier, xip, xidx, xw, wc=None, adj_id=0):
         """One claim-resolved relaxation of ``frontier`` over the
         sub-adjacency ``(xip, xidx, xw)``, sharded across the thread
-        pool when the frontier is big enough.  Updates the label arrays
-        in place; returns ``(win_v, win_d, arcs)`` with ``win_v=None``
-        when nothing improved."""
-        nonlocal pool
+        pool (or the forked shard workers in process mode) when the
+        frontier is big enough.  Updates the label arrays in place;
+        returns ``(win_v, win_d, arcs)`` with ``win_v=None`` when
+        nothing improved."""
+        nonlocal pool, ppool
         if nw > 1 and frontier.shape[0] >= 2 * PAR_MIN_SHARD:
-            if pool is None:
-                pool = ThreadPoolExecutor(max_workers=nw)
             shards = shard_frontier(frontier, nw, PAR_MIN_SHARD)
-            parts = list(
-                pool.map(lambda s: _gather_shard(s, xip, xidx, xw, wc), shards)
-            )
+            if use_procs:
+                if ppool is None:
+                    # fork *now*: children inherit the CSR snapshot and
+                    # this closure; post-fork label writes reach them
+                    # through the shared mmaps only
+                    ppool = ForkShardPool(nw, _proc_gather)
+                scratch[: frontier.shape[0]] = frontier
+                tasks, lo = [], 0
+                for s in shards:
+                    tasks.append((adj_id, lo, lo + s.shape[0], wc))
+                    lo += s.shape[0]
+                parts = ppool.map(tasks)
+            else:
+                if pool is None:
+                    pool = ThreadPoolExecutor(max_workers=nw)
+                parts = list(
+                    pool.map(lambda s: _gather_shard(s, xip, xidx, xw, wc), shards)
+                )
             total = sum(p[3] for p in parts)
             kept = [p for p in parts if p[0] is not None]
             if not kept:
@@ -572,7 +632,9 @@ def bucket_sssp_batch(
                     rounds += 1
                     settled[frontier] = True
                     member_chunks.append(frontier)
-                    win_v, win_d, arcs = _relax_round(frontier, lip, lidx, lw)
+                    win_v, win_d, arcs = _relax_round(
+                        frontier, lip, lidx, lw, adj_id=1
+                    )
                     work += max(arcs, int(frontier.shape[0]))
                     if win_v is None:
                         break
@@ -589,7 +651,9 @@ def bucket_sssp_batch(
                     # heavy candidates land at >= hi, so one pass settles
                     # the bucket's heavy arcs for good
                     rounds += 1
-                    win_v, win_d, arcs = _relax_round(members, hip, hidx, hw)
+                    win_v, win_d, arcs = _relax_round(
+                        members, hip, hidx, hw, adj_id=2
+                    )
                     work += max(arcs, int(members.shape[0]))
                     if win_v is not None:
                         pending.append(win_v)
@@ -617,5 +681,7 @@ def bucket_sssp_batch(
     finally:
         if pool is not None:
             pool.shutdown(wait=False)
+        if ppool is not None:
+            ppool.shutdown()
 
     return dist, parent, owner, settled, bucket_work, bucket_rounds

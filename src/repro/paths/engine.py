@@ -125,6 +125,7 @@ from repro.kernels.numpy_kernel import (
     suggest_delta,
 )
 from repro.pram.tracker import PramTracker, null_tracker
+from repro.parallel.pool import DEFAULT_WORKERS, WorkersArg
 
 _DEFAULT_BACKEND = "numpy"
 
@@ -176,7 +177,7 @@ def shortest_paths(
     backend: Optional[str] = None,
     max_dist: Optional[float] = None,
     tracker: Optional[PramTracker] = None,
-    workers: Optional[int] = 1,
+    workers: WorkersArg = DEFAULT_WORKERS,
 ) -> ShortestPathResult:
     """Exact multi-source shortest paths with optional start offsets.
 
@@ -330,7 +331,7 @@ def shortest_paths_batch(
     backend: Optional[str] = None,
     max_dist: Optional[float] = None,
     tracker: Optional[PramTracker] = None,
-    workers: Optional[int] = 1,
+    workers: WorkersArg = DEFAULT_WORKERS,
 ) -> BatchShortestPathResult:
     """Run ``k`` independent shortest-path searches as one batch.
 

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.graph.csr import CSRGraph
 from repro.pram.tracker import PramTracker, null_tracker
+from repro.parallel.pool import DEFAULT_WORKERS, WorkersArg
 
 INF = np.iinfo(np.int64).max
 
@@ -35,7 +36,7 @@ def dial_sssp(
     max_dist: Optional[int] = None,
     tracker: Optional[PramTracker] = None,
     backend: Optional[str] = None,
-    workers: Optional[int] = 1,
+    workers: WorkersArg = DEFAULT_WORKERS,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int]:
     """Multi-source SSSP on integer weights by bucketed level sweeps.
 
@@ -95,7 +96,7 @@ def weighted_bfs_with_start_times(
     weights_int: Optional[np.ndarray] = None,
     tracker: Optional[PramTracker] = None,
     backend: Optional[str] = None,
-    workers: Optional[int] = 1,
+    workers: WorkersArg = DEFAULT_WORKERS,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int]:
     """Race all vertices with integer start offsets over integer weights.
 

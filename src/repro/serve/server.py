@@ -44,6 +44,7 @@ from repro.errors import ParameterError
 from repro.hopsets.result import HopsetResult
 from repro.kernels import hop_sssp_batch, hop_sssp_batch_numba, resolve_backend
 from repro.pram.tracker import PramTracker, null_tracker
+from repro.parallel.pool import DEFAULT_WORKERS, WorkersArg
 
 # Auto-chunk target for the front door: kernel calls are sized to
 # ~this many flat labels (k = CHUNK_LABELS // n, clamped to [1, 256])
@@ -123,7 +124,7 @@ class DistanceServer:
     hopset: HopsetResult
     h: Optional[int] = None
     backend: Optional[str] = None
-    workers: Optional[int] = 1
+    workers: WorkersArg = DEFAULT_WORKERS
     cache_rows: int = 128
     max_batch_runs: Optional[int] = None
     tracker: Optional[PramTracker] = None

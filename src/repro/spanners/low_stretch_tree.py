@@ -30,6 +30,7 @@ from repro.rng import SeedLike, resolve_rng
 from repro.spanners.result import SpannerResult, edge_id_lookup
 from repro.spanners.unweighted import spanner_beta
 from repro.spanners.weighted import contracted_quotient, weight_buckets
+from repro.parallel.pool import DEFAULT_WORKERS, WorkersArg
 
 
 def low_stretch_spanning_tree(
@@ -40,7 +41,7 @@ def low_stretch_spanning_tree(
     max_iterations: int = 200,
     tracker: Optional[PramTracker] = None,
     backend: Optional[str] = None,
-    workers: Optional[int] = 1,
+    workers: WorkersArg = DEFAULT_WORKERS,
 ) -> SpannerResult:
     """Build a spanning tree by iterated EST clustering + contraction.
 

@@ -28,6 +28,7 @@ from repro.pram.primitives import charge_semisort
 from repro.pram.tracker import PramTracker, null_tracker
 from repro.rng import SeedLike
 from repro.spanners.result import SpannerResult, edge_id_lookup
+from repro.parallel.pool import DEFAULT_WORKERS, WorkersArg
 
 
 def spanner_beta(n: int, k: float) -> float:
@@ -45,7 +46,7 @@ def unweighted_spanner(
     tracker: Optional[PramTracker] = None,
     clustering: Optional[Clustering] = None,
     backend: Optional[str] = None,
-    workers: Optional[int] = 1,
+    workers: WorkersArg = DEFAULT_WORKERS,
 ) -> SpannerResult:
     """Construct an O(k)-spanner of an unweighted graph.
 

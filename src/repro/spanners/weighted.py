@@ -52,6 +52,7 @@ from repro.pram.tracker import PramTracker, null_tracker
 from repro.rng import SeedLike, resolve_rng, spawn_seeds
 from repro.spanners.result import SpannerResult, edge_id_lookup
 from repro.spanners.unweighted import spanner_beta
+from repro.parallel.pool import DEFAULT_WORKERS, WorkersArg
 
 
 def weight_buckets(g: CSRGraph) -> np.ndarray:
@@ -182,7 +183,7 @@ def _well_separated_spanner(
     method: str,
     tracker: PramTracker,
     backend: Optional[str] = None,
-    workers: Optional[int] = 1,
+    workers: WorkersArg = DEFAULT_WORKERS,
 ) -> np.ndarray:
     """Algorithm 3 on one well-separated group; returns original edge ids.
 
@@ -236,7 +237,9 @@ def _well_separated_spanner_batched(
     method: str,
     tracker: PramTracker,
     backend: Optional[str] = None,
-    workers: Optional[int] = 1,
+    workers: WorkersArg = DEFAULT_WORKERS,
+    checkpoint_path=None,
+    checkpoint_every: int = 1,
 ) -> np.ndarray:
     """All groups' Algorithm 3 runs, executed level-synchronously.
 
@@ -272,6 +275,23 @@ def _well_separated_spanner_batched(
     rngs = [np.random.default_rng(int(s)) for s in seeds]
     kept: List[np.ndarray] = []
 
+    fp = None
+    if checkpoint_path is not None:
+        from repro import checkpoint as _ckpt
+
+        # seeds derive from the caller's seed, so they bind it; group
+        # sizes bind the grouping/separation choice
+        fp = _ckpt.graph_fingerprint(
+            g,
+            float(k),
+            method,
+            seeds.tobytes(),
+            np.asarray([grp.shape[0] for grp in groups], np.int64).tobytes(),
+        )
+        saved = _ckpt.load_if_exists(checkpoint_path, "spanner", fp)
+    else:
+        saved = None
+
     # ---- level schedule: one lexsort instead of per-group scans -------
     grp_of = np.empty(g.m, dtype=np.int64)
     level_rank = np.empty(g.m, dtype=np.int64)
@@ -295,7 +315,32 @@ def _well_separated_spanner_batched(
     base[multi] = np.arange(multi.shape[0], dtype=np.int64) * n
     uf = UnionFind(int(multi.shape[0]) * n)
 
-    for t in range(max_rounds):
+    t_start = 0
+    if saved is not None:
+        uf.parent = saved.arrays["uf_parent"]
+        uf.size = saved.arrays["uf_size"]
+        uf.n_components = int(saved.scalars["uf_components"])
+        if saved.arrays["kept"].size:
+            kept.append(saved.arrays["kept"])
+        rngs = [_ckpt.rng_from_state(s) for s in saved.rng_states]
+        t_start = saved.level
+
+    for t in range(t_start, max_rounds):
+        if checkpoint_path is not None and t and t % checkpoint_every == 0:
+            from repro import checkpoint as _ckpt
+
+            _ckpt.BuildCheckpoint(
+                kind="spanner",
+                fingerprint=fp,
+                level=t,
+                rng_states=[_ckpt.rng_state(r) for r in rngs],
+                arrays={
+                    "uf_parent": uf.parent,
+                    "uf_size": uf.size,
+                    "kept": np.concatenate(kept) if kept else np.empty(0, np.int64),
+                },
+                scalars={"uf_components": int(uf.n_components)},
+            ).save(checkpoint_path)
         ids = order[round_ptr[t] : round_ptr[t + 1]]
         gj = grp_of[ids]
         eu = g.edge_u[ids]
@@ -383,7 +428,9 @@ def weighted_spanner(
     tracker: Optional[PramTracker] = None,
     backend: Optional[str] = None,
     strategy: str = "batched",
-    workers: Optional[int] = 1,
+    workers: WorkersArg = DEFAULT_WORKERS,
+    checkpoint_path=None,
+    checkpoint_every: int = 1,
 ) -> SpannerResult:
     """Construct an O(k)-spanner of a weighted graph (Theorem 3.3).
 
@@ -420,6 +467,10 @@ def weighted_spanner(
     """
     if strategy not in ("batched", "recursive"):
         raise ParameterError("strategy must be 'batched' or 'recursive'")
+    if checkpoint_path is not None and strategy != "batched":
+        raise ParameterError("checkpointing requires strategy='batched'")
+    if checkpoint_every < 1:
+        raise ParameterError("checkpoint_every must be >= 1")
     group_stride(k, separation)  # validates k and separation (> 1) for
     # both grouping modes; the value is recomputed where needed
     tracker = tracker or null_tracker()
@@ -439,7 +490,12 @@ def weighted_spanner(
         edge_ids = _well_separated_spanner_batched(
             g, groups, bucket, k, seeds, method, tracker,
             backend=backend, workers=workers,
+            checkpoint_path=checkpoint_path, checkpoint_every=checkpoint_every,
         )
+        if checkpoint_path is not None:
+            from repro import checkpoint as _ckpt
+
+            _ckpt.clear(checkpoint_path)
     else:
         kept: List[np.ndarray] = []
         children = []

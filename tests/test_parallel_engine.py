@@ -23,7 +23,19 @@ import repro.kernels.numpy_kernel as npk
 import repro.parallel.pool as pool_mod
 from repro.graph import from_edges, gnm_random_graph, with_random_weights
 from repro.kernels.numpy_kernel import INT_INF, split_light_heavy
-from repro.parallel import effective_workers, parallel_map, shard_frontier
+from repro.parallel import (
+    DEFAULT_WORKERS,
+    ForkShardPool,
+    effective_workers,
+    fork_available,
+    get_default_workers,
+    get_shard_mode,
+    parallel_map,
+    set_default_workers,
+    set_shard_mode,
+    shard_frontier,
+    shared_empty,
+)
 from repro.paths import shortest_paths, shortest_paths_batch
 from repro.pram import PramTracker
 
@@ -392,6 +404,207 @@ class TestHopsetWorkers:
         rc = main(["sssp", "--n", "60", "--m", "240", "--workers", "3", "--check"])
         assert rc == 0
         assert "match" in capsys.readouterr().out
+
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="fork start method unavailable"
+)
+
+
+@pytest.fixture
+def _process_mode():
+    prev = set_shard_mode("process")
+    yield
+    set_shard_mode(prev)
+
+
+class TestProcessShardMode:
+    """Fork-based shard workers: same shard plan, same claim merge —
+    labels AND ledgers bit-identical to thread mode and serial for any
+    worker count, in both weight regimes."""
+
+    @needs_fork
+    @SETTINGS
+    @given(engine_specs())
+    def test_single_run_process_bit_identical(self, spec):
+        g, sources, offsets, int_mode = spec
+        w = g.weights.astype(np.int64) if int_mode else None
+        serial = shortest_paths(g, sources, offsets=offsets, weights=w, workers=1)
+        prev = set_shard_mode("process")
+        try:
+            forked = shortest_paths(
+                g, sources, offsets=offsets, weights=w, workers=4
+            )
+        finally:
+            set_shard_mode(prev)
+        _assert_same_result(serial, forked)
+
+    @needs_fork
+    @SETTINGS
+    @given(engine_specs())
+    def test_batch_process_bit_identical(self, spec):
+        g, sources, offsets, int_mode = spec
+        w = g.weights.astype(np.int64) if int_mode else None
+        runs = [np.asarray([s]) for s in sources] + [sources]
+        offs = [np.asarray([o]) for o in offsets] + [offsets]
+        serial = shortest_paths_batch(g, runs, offs, weights=w, workers=1)
+        prev = set_shard_mode("process")
+        try:
+            forked = shortest_paths_batch(g, runs, offs, weights=w, workers=4)
+        finally:
+            set_shard_mode(prev)
+        _assert_same_result(serial, forked)
+
+    @needs_fork
+    @pytest.mark.parametrize("nw", [2, 3, 5, 8])
+    def test_any_worker_count_same_labels_and_ledger(self, _process_mode, nw):
+        g = _float_graph(150, 600, seed=43)
+        offs = np.random.default_rng(44).exponential(2.0, g.n)
+        t_ser, t_proc = PramTracker(n=g.n), PramTracker(n=g.n)
+        set_shard_mode("thread")
+        serial = shortest_paths(g, np.arange(g.n), offsets=offs,
+                                tracker=t_ser, workers=1)
+        set_shard_mode("process")
+        forked = shortest_paths(g, np.arange(g.n), offsets=offs,
+                                tracker=t_proc, workers=nw)
+        _assert_same_result(serial, forked)
+        assert (t_ser.work, t_ser.rounds, t_ser.depth) == (
+            t_proc.work, t_proc.rounds, t_proc.depth)
+
+    @needs_fork
+    def test_process_equals_thread_mode(self, _process_mode):
+        g = _int_graph(200, 800, seed=47)
+        w = g.weights.astype(np.int64)
+        set_shard_mode("thread")
+        threaded = shortest_paths(g, np.arange(30), weights=w, workers=3)
+        set_shard_mode("process")
+        forked = shortest_paths(g, np.arange(30), weights=w, workers=3)
+        _assert_same_result(threaded, forked)
+
+    @needs_fork
+    def test_tie_break_survives_forked_shards(self, _process_mode):
+        # the star tie of TestTieBreakDeterminism, across processes
+        edges = [(i, 60) for i in range(60)]
+        g = from_edges(61, edges)
+        sources = np.arange(59, -1, -1, dtype=np.int64)
+        for nw in (2, 4, 7):
+            res = shortest_paths(g, sources, workers=nw)
+            assert res.owner[60] == 59 and res.dist[60] == 1
+
+    def test_workers_one_never_forks(self, _process_mode, monkeypatch):
+        # forking is only legal past the shard threshold with nw > 1
+        def boom(*a, **k):
+            raise AssertionError("ForkShardPool constructed for workers=1")
+
+        monkeypatch.setattr(npk, "ForkShardPool", boom)
+        g = _float_graph(100, 400, seed=53)
+        res = shortest_paths(g, np.arange(g.n), workers=1)
+        assert np.isfinite(res.dist).all()
+
+    def test_fork_unavailable_falls_back_to_threads(self, _process_mode,
+                                                    monkeypatch):
+        monkeypatch.setattr(npk, "fork_available", lambda: False)
+
+        def boom(*a, **k):
+            raise AssertionError("forked despite fork_available() == False")
+
+        monkeypatch.setattr(npk, "ForkShardPool", boom)
+        g = _float_graph(100, 400, seed=59)
+        serial = shortest_paths(g, np.arange(g.n), workers=1)
+        fallback = shortest_paths(g, np.arange(g.n), workers=4)
+        _assert_same_result(serial, fallback)
+
+    def test_shard_mode_validation(self):
+        assert get_shard_mode() in ("thread", "process")
+        with pytest.raises(ValueError):
+            set_shard_mode("coroutine")
+
+    @needs_fork
+    def test_fork_shard_pool_contract(self):
+        state = shared_empty(8, np.int64)
+        state[:] = np.arange(8)
+
+        def double_slice(lo, hi):
+            return state[lo:hi] * 2
+
+        with ForkShardPool(2, double_slice) as pool:
+            assert pool.workers == 2
+            a, b = pool.map([(0, 4), (4, 8)])
+            assert np.array_equal(a, [0, 2, 4, 6])
+            assert np.array_equal(b, [8, 10, 12, 14])
+            # post-fork writes to the shared mmap are visible
+            state[:] = 1
+            a, b = pool.map([(0, 4), (4, 8)])
+            assert np.array_equal(a, [2, 2, 2, 2])
+            with pytest.raises(ValueError, match="tasks for"):
+                pool.map([(0, 1)] * 3)
+        pool.shutdown()  # idempotent
+
+    @needs_fork
+    def test_fork_shard_pool_relays_worker_errors(self):
+        def fail(tag):
+            raise KeyError(f"bad {tag}")
+
+        with ForkShardPool(1, fail) as pool:
+            with pytest.raises(RuntimeError, match="KeyError.*bad x"):
+                pool.map([("x",)])
+
+
+class TestWorkersDefaultPolicy:
+    """Every ``workers=`` knob defaults to the DEFAULT_WORKERS sentinel,
+    resolved through the session policy — so engine calls issued deep
+    inside the batched builders follow one policy switch."""
+
+    @pytest.fixture(autouse=True)
+    def _restore_policy(self):
+        prev = get_default_workers()
+        yield
+        set_default_workers(prev)
+
+    def test_policy_resolution(self):
+        assert get_default_workers() == 1  # historical serial default
+        assert effective_workers(DEFAULT_WORKERS, oversubscribe=True) == 1
+        set_default_workers(6)
+        assert effective_workers(DEFAULT_WORKERS, oversubscribe=True) == 6
+        set_default_workers(None)  # "all cores"
+        assert effective_workers(DEFAULT_WORKERS) == (os.cpu_count() or 1)
+        with pytest.raises(ValueError):
+            set_default_workers(0)
+
+    def test_explicit_workers_override_policy(self):
+        set_default_workers(8)
+        assert effective_workers(2, oversubscribe=True) == 2
+        assert effective_workers(None) == (os.cpu_count() or 1)
+
+    def test_policy_reaches_engine_defaults(self, monkeypatch):
+        seen = []
+        real = npk.effective_workers
+
+        def spy(requested=None, oversubscribe=False):
+            seen.append(requested)
+            return real(requested, oversubscribe)
+
+        monkeypatch.setattr(npk, "effective_workers", spy)
+        g = _float_graph(40, 120, seed=61)
+        shortest_paths(g, 0)  # no workers argument anywhere
+        assert seen and all(r is DEFAULT_WORKERS for r in seen)
+
+    def test_policy_changes_builder_inner_calls(self):
+        # a policy switch must not change results, only execution shape
+        from repro.hopsets import build_hopset
+
+        g = _int_graph(200, 800, seed=67)
+        a = build_hopset(g, seed=7)
+        set_default_workers(4)
+        b = build_hopset(g, seed=7)
+        assert np.array_equal(a.eu, b.eu)
+        assert np.array_equal(a.ev, b.ev)
+        assert np.array_equal(a.ew, b.ew)
+
+    def test_set_default_workers_returns_previous(self):
+        prev = set_default_workers(3)
+        assert prev == 1
+        assert set_default_workers(prev) == 3
 
 
 class TestIntInfStaysUnreached:
