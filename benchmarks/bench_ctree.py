@@ -1,0 +1,152 @@
+"""Cluster-tree workload: validated hierarchies on real + skewed graphs.
+
+Exercises the ``repro.ctree`` work-stack driver end to end, the way the
+``cluster-tree`` CLI runs it: load the bundled SNAP snapshot
+(Zachary's karate club, 1-based ids, header census), build validated
+trees under two requirements, then scale up on a seeded
+Barabási–Albert graph whose skewed degrees force deep reclustering.
+
+Correctness is asserted at every scale, not just recorded:
+
+* ``ClusterTree.validate()`` passes — children partition parents, the
+  leaves partition the vertex set;
+* every leaf satisfies the requirement (no ``forced`` cut-offs with
+  default knobs);
+* the JSON export round-trips exactly and the newick export parses
+  back to the same topology.
+
+Timings (expansions/sec over internal nodes) are recorded for the
+sweep table.  Emits ``BENCH_ctree.json`` via
+:func:`_report.record_json`; ``BENCH_SMOKE=1`` shrinks the BA graph to
+toy scale with the same assertions.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import _report
+from repro.ctree import ClusterTree, build_cluster_tree, parse_newick
+from repro.graph import barabasi_albert_graph, load_snap
+
+SMOKE = os.environ.get("BENCH_SMOKE", "") == "1"
+
+BA_N = 1_200 if SMOKE else 20_000
+BA_ATTACH = 3
+
+KARATE_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "tests",
+    "data",
+    "karate.snap",
+)
+
+COLUMNS = ["workload", "requirement", "nodes", "leaves", "depth", "seconds", "expansions_per_s"]
+
+
+def _newick_nodes(node) -> int:
+    name, _, children = node
+    return 1 + sum(_newick_nodes(c) for c in children)
+
+
+def _run_one(g, requirement: str, seed: int) -> tuple[ClusterTree, dict]:
+    t0 = time.perf_counter()
+    tree = build_cluster_tree(g, requirement, seed=seed)
+    seconds = time.perf_counter() - t0
+    internal = tree.num_nodes - len(tree.leaves())
+    row = {
+        "requirement": requirement,
+        "n": g.n,
+        "m": g.m,
+        "nodes": tree.num_nodes,
+        "leaves": len(tree.leaves()),
+        "depth": tree.depth(),
+        "seconds": seconds,
+        "expansions_per_s": internal / max(seconds, 1e-12),
+    }
+    return tree, row
+
+
+def _check(tree: ClusterTree) -> dict:
+    """The acceptance verdict for one tree; every flag must hold."""
+    tree.validate()
+    rt = ClusterTree.from_json(tree.to_json())
+    roundtrip_json = tree.signature() == rt.signature()
+    roundtrip_newick = _newick_nodes(parse_newick(tree.to_newick())) == tree.num_nodes
+    return {
+        "tree_valid": True,
+        "leaves_satisfied": bool(tree.all_leaves_satisfied()),
+        "recheck": bool(tree.recheck()),
+        "roundtrip_json": bool(roundtrip_json),
+        "roundtrip_newick": bool(roundtrip_newick),
+    }
+
+
+def run_ctree_bench(ba_n: int = BA_N, seed: int = 2026) -> dict:
+    """Build and verify all cluster-tree workloads.
+
+    Pure function (no file I/O beyond reading the bundled fixture) so
+    the tier-1 smoke test can exercise it at toy scale.
+    """
+    karate, stats = load_snap(KARATE_PATH)
+    ba = barabasi_albert_graph(ba_n, BA_ATTACH, seed=seed)
+
+    runs = []
+    checks = []
+    for name, g, requirement, run_seed in [
+        ("karate.snap", karate, "conductance:0.5", 7),
+        ("karate.snap", karate, "degree:2", 7),
+        (f"ba(n={ba_n}, k={BA_ATTACH})", ba, "wellconnected", seed),
+    ]:
+        tree, row = _run_one(g, requirement, run_seed)
+        row["workload"] = name
+        runs.append(row)
+        checks.append(_check(tree))
+
+    acceptance = {
+        "tree_valid": all(c["tree_valid"] for c in checks),
+        "leaves_satisfied": all(c["leaves_satisfied"] and c["recheck"] for c in checks),
+        "roundtrip_json": all(c["roundtrip_json"] for c in checks),
+        "roundtrip_newick": all(c["roundtrip_newick"] for c in checks),
+    }
+    acceptance["passed"] = all(acceptance.values())
+    return {
+        "fixture": {
+            "path": os.path.basename(KARATE_PATH),
+            "n": karate.n,
+            "m": karate.m,
+            "raw_edges": stats.raw_edges,
+            "self_loops": stats.self_loops,
+            "merged_duplicates": stats.merged_duplicates,
+            "header_nodes": stats.header_nodes,
+            "header_edges": stats.header_edges,
+        },
+        "runs": runs,
+        "checks": checks,
+        "acceptance": acceptance,
+    }
+
+
+def test_ctree_workload(benchmark):
+    payload = benchmark.pedantic(lambda: run_ctree_bench(), rounds=1, iterations=1)
+    for row in payload["runs"]:
+        _report.record(
+            "Cluster-tree build",
+            COLUMNS,
+            workload=row["workload"],
+            requirement=row["requirement"],
+            nodes=row["nodes"],
+            leaves=row["leaves"],
+            depth=row["depth"],
+            seconds=round(row["seconds"], 3),
+            expansions_per_s=round(row["expansions_per_s"], 1),
+        )
+    payload["smoke"] = SMOKE
+    path = _report.record_json("BENCH_ctree.json", payload)
+    acc = payload["acceptance"]
+    assert acc["tree_valid"], f"structural validation failed ({path})"
+    assert acc["leaves_satisfied"], f"a leaf failed its requirement ({path})"
+    assert acc["roundtrip_json"], f"JSON round-trip mismatch ({path})"
+    assert acc["roundtrip_newick"], f"newick round-trip mismatch ({path})"
+    assert acc["passed"], f"cluster-tree acceptance failed ({path})"

@@ -1,12 +1,27 @@
-"""Legacy setup shim.
+"""Setup script (legacy path on purpose).
 
-This environment has no network and no ``wheel`` package, so PEP-517
-editable installs (which must build an editable wheel) cannot run.
-Keeping a ``setup.py`` and omitting ``[build-system]`` from
-pyproject.toml lets ``pip install -e .`` fall back to the legacy
-``setup.py develop`` path, which works offline.
+This project deliberately has no ``[build-system]`` table in
+pyproject.toml: the development environment has no network and no
+``wheel`` package, so PEP-517 editable installs (which must build an
+editable wheel) cannot run there.  Keeping the metadata here lets
+``pip install -e .`` fall back to the legacy ``setup.py develop`` path
+offline, while a plain ``pip install .`` (exercised by the CI
+packaging job) still produces a working installation with the
+``repro`` console script.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-mpvx15",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Improved Parallel Algorithms for Spanners and "
+        "Hopsets' (Miller, Peng, Vladu, Xu; SPAA 2015)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy", "scipy"],
+    entry_points={"console_scripts": ["repro = repro.cli:main"]},
+)

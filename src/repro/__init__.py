@@ -18,6 +18,7 @@ Subpackage layout (see DESIGN.md for the full inventory):
 ``repro.parallel``        process-pool helpers for real fan-out
 ``repro.paths``           BFS / weighted BFS / Bellman–Ford / Dijkstra
 ``repro.clustering``      exponential start time clustering (Alg. 1)
+``repro.ctree``           validated cluster trees on real graphs
 ``repro.spanners``        Algorithms 2–3 + Baswana–Sen/greedy baselines
 ``repro.hopsets``         Algorithm 4, Section 5, Appendices B–C,
                           KS97/Cohen-style baselines
@@ -49,6 +50,15 @@ from repro.graph import (
     hard_weight_graph,
     connected_components,
     is_connected,
+    conductance,
+    load_snap,
+)
+
+# cluster trees on real graphs
+from repro.ctree import (
+    ClusterTree,
+    build_cluster_tree,
+    parse_requirement,
 )
 
 # cost model
@@ -112,6 +122,11 @@ __all__ = [
     "hard_weight_graph",
     "connected_components",
     "is_connected",
+    "conductance",
+    "load_snap",
+    "ClusterTree",
+    "build_cluster_tree",
+    "parse_requirement",
     "PramTracker",
     "log_star",
     "est_cluster",

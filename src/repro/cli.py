@@ -13,6 +13,11 @@ Commands
     coalescing + LRU source-row cache).
 ``cluster``
     Run one EST clustering and print its statistics.
+``cluster-tree``
+    Decompose a real graph (e.g. a ``.snap`` snapshot) into a
+    hierarchical cluster tree: EST/LDD clustering on a work stack,
+    every cluster validated against a pluggable requirement, failures
+    reclustered recursively; JSON and newick export.
 ``sssp``
     Run the bucket-parallel shortest-path engine from a source and
     print distances, bucket structure, and the PRAM ledger.
@@ -73,6 +78,11 @@ def _load_graph(args) -> "object":
             from repro.graph.io import load_npz
 
             return load_npz(path)
+        if path.endswith(".snap"):
+            from repro.graph.io import load_snap
+
+            g, _ = load_snap(path)
+            return g
         if path.endswith(".bin"):
             from repro.graph.io import load_edgelist_binary
 
@@ -339,6 +349,52 @@ def cmd_cluster(args) -> int:
     return 0
 
 
+def cmd_cluster_tree(args) -> int:
+    import time
+
+    from repro.ctree import build_cluster_tree
+
+    g = _load_graph(args)
+    t0 = time.perf_counter()
+    tree = build_cluster_tree(
+        g,
+        args.requirement,
+        clusterer=args.clusterer,
+        beta=args.beta,
+        seed=args.seed,
+        min_size=args.min_size,
+        max_depth=args.max_depth,
+        backend=args.backend,
+        workers=_workers_from_args(args),
+        checkpoint_path=args.checkpoint,
+    )
+    seconds = time.perf_counter() - t0
+    tree.validate()
+    leaves = tree.leaves()
+    forced = sum(1 for leaf in leaves if leaf.forced)
+    sizes = sorted((leaf.size for leaf in leaves), reverse=True)
+    print(f"graph: n={g.n} m={g.m}")
+    print(
+        f"tree: {tree.num_nodes} nodes, {len(leaves)} leaves, "
+        f"depth {tree.depth()} ({seconds:.2f}s)"
+    )
+    print(
+        f"leaves: max size {sizes[0] if sizes else 0}, "
+        f"median {sizes[len(sizes) // 2] if sizes else 0}, {forced} forced"
+    )
+    print(
+        f"requirement {tree.requirement}: "
+        f"{'all leaves satisfied' if tree.all_leaves_satisfied() else 'UNSATISFIED leaves present'}"
+    )
+    if args.json:
+        tree.save_json(args.json)
+        print(f"wrote JSON tree to {args.json}")
+    if args.newick:
+        tree.save_newick(args.newick)
+        print(f"wrote newick tree to {args.newick}")
+    return 0 if tree.all_leaves_satisfied() else 1
+
+
 def cmd_sssp(args) -> int:
     from repro.paths.engine import shortest_paths
 
@@ -457,6 +513,49 @@ def build_parser() -> argparse.ArgumentParser:
     _add_backend_arg(p)
     p.add_argument("--beta", type=float, default=0.2)
     p.set_defaults(fn=cmd_cluster)
+
+    p = sub.add_parser(
+        "cluster-tree",
+        help="decompose a real graph into a validated cluster tree",
+    )
+    _add_io_args(p)
+    _add_backend_arg(p)
+    _add_workers_arg(p)
+    p.add_argument(
+        "--requirement",
+        default="wellconnected",
+        help="cluster validity requirement: conductance:PHI, degree:K, "
+        "or wellconnected[:SCALE] (default)",
+    )
+    p.add_argument(
+        "--clusterer",
+        choices=["est", "ldd"],
+        default="est",
+        help="decomposition engine per expansion: one EST race (default) "
+        "or the certified low-diameter wrapper",
+    )
+    p.add_argument("--beta", type=float, default=0.25)
+    p.add_argument(
+        "--min-size",
+        type=int,
+        default=1,
+        help="clusters at or below this size become leaves even when "
+        "unsatisfied (flagged 'forced')",
+    )
+    p.add_argument(
+        "--max-depth",
+        type=int,
+        default=None,
+        help="cap the recursion depth (unsatisfied leaves are flagged)",
+    )
+    p.add_argument(
+        "--checkpoint",
+        help="work-stack checkpoint path: a killed run resumes to the "
+        "bit-identical tree",
+    )
+    p.add_argument("--json", help="write the full tree (stats + vertices) here")
+    p.add_argument("--newick", help="write the newick topology here")
+    p.set_defaults(fn=cmd_cluster_tree)
 
     p = sub.add_parser("sssp", help="run the bucket shortest-path engine")
     _add_io_args(p)

@@ -1,0 +1,33 @@
+"""Hierarchical cluster trees on real graphs (CM-style pipeline).
+
+The first non-synthetic end-to-end subsystem: read a SNAP-format
+snapshot (:func:`repro.graph.io.load_snap`), decompose it with the
+EST/LDD clustering substrate through a validate-and-recluster work
+stack (:func:`build_cluster_tree`), and emit the hierarchy with
+per-node stats as JSON or newick (:class:`ClusterTree`).  The
+``cluster-tree`` CLI subcommand wires it end to end.
+"""
+
+from repro.ctree.driver import build_cluster_tree
+from repro.ctree.requirements import (
+    ClusterRequirement,
+    ConductanceRequirement,
+    MinDegreeRequirement,
+    NodeStats,
+    WellConnectedRequirement,
+    parse_requirement,
+)
+from repro.ctree.tree import ClusterTree, ClusterTreeNode, parse_newick
+
+__all__ = [
+    "build_cluster_tree",
+    "ClusterRequirement",
+    "ConductanceRequirement",
+    "MinDegreeRequirement",
+    "WellConnectedRequirement",
+    "NodeStats",
+    "parse_requirement",
+    "ClusterTree",
+    "ClusterTreeNode",
+    "parse_newick",
+]

@@ -1,0 +1,147 @@
+"""Pluggable cluster-validity requirements for the cluster-tree driver.
+
+The connectivity-modifier pattern: every cluster the pipeline emits is
+*validated* against an explicit requirement, and clusters that fail are
+pushed back for recursive reclustering.  A requirement here is a small
+object judging one node's :class:`NodeStats` — the per-cluster
+quantities the driver computes vectorized for every child of a split
+(size, cut, volume, conductance, internal min degree, connectivity).
+
+Three built-ins, selectable from a spec string (the CLI surface):
+
+``conductance:PHI``
+    The cluster leaks at most ``PHI`` of the lighter side's volume:
+    ``conductance(S) <= PHI`` (see
+    :func:`repro.graph.metrics.conductance`).
+``degree:K``
+    Every member has at least ``K`` neighbors *inside* the cluster.
+``wellconnected[:SCALE]``
+    The CM-style mincut-flavored bound: internal min degree strictly
+    above ``SCALE * log10(size)`` (min degree dominates mincut, so this
+    is the cheap necessary side of "well-connected"; ``SCALE`` defaults
+    to 1, the connectivity-modifier default).
+
+All three require the cluster to be internally connected, and all three
+accept singletons vacuously — there is nothing to cut in a one-vertex
+cluster — which is what guarantees the driver terminates with every
+leaf satisfied: reclustering strictly shrinks failing clusters, and
+size 1 always passes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+
+
+@dataclass(frozen=True)
+class NodeStats:
+    """Per-cluster quantities a requirement may judge.
+
+    ``cut``/``volume``/``conductance`` are measured against the *whole*
+    input graph; ``internal_edges``/``min_internal_degree``/
+    ``connected`` against the cluster's induced subgraph.
+    """
+
+    size: int
+    cut: int
+    volume: int
+    internal_edges: int
+    min_internal_degree: int
+    conductance: float
+    connected: bool
+
+
+class ClusterRequirement:
+    """Base class: subclasses set ``spec`` and implement :meth:`check`."""
+
+    spec: str
+
+    def check(self, stats: NodeStats) -> bool:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.spec!r})"
+
+
+class ConductanceRequirement(ClusterRequirement):
+    """Accept clusters with conductance at most ``max_conductance``."""
+
+    def __init__(self, max_conductance: float):
+        if not (0.0 <= max_conductance <= 1.0):
+            raise ParameterError(
+                f"conductance threshold must be in [0, 1], got {max_conductance}"
+            )
+        self.max_conductance = float(max_conductance)
+        self.spec = f"conductance:{self.max_conductance:g}"
+
+    def check(self, stats: NodeStats) -> bool:
+        if stats.size <= 1:
+            return True
+        return stats.connected and stats.conductance <= self.max_conductance
+
+
+class MinDegreeRequirement(ClusterRequirement):
+    """Accept clusters whose internal min degree is at least ``k``."""
+
+    def __init__(self, k: int):
+        if k < 0:
+            raise ParameterError(f"degree bound must be non-negative, got {k}")
+        self.k = int(k)
+        self.spec = f"degree:{self.k}"
+
+    def check(self, stats: NodeStats) -> bool:
+        if stats.size <= 1:
+            return True
+        return stats.connected and stats.min_internal_degree >= self.k
+
+
+class WellConnectedRequirement(ClusterRequirement):
+    """CM-style bound: internal min degree > ``scale * log10(size)``."""
+
+    def __init__(self, scale: float = 1.0):
+        if scale <= 0 or not math.isfinite(scale):
+            raise ParameterError(f"scale must be a positive float, got {scale}")
+        self.scale = float(scale)
+        self.spec = f"wellconnected:{self.scale:g}"
+
+    def check(self, stats: NodeStats) -> bool:
+        if stats.size <= 1:
+            return True
+        return stats.connected and (
+            stats.min_internal_degree > self.scale * math.log10(stats.size)
+        )
+
+
+def parse_requirement(spec) -> ClusterRequirement:
+    """Build a requirement from a spec string (or pass one through).
+
+    ``"conductance:0.5"``, ``"degree:2"``, ``"wellconnected"``,
+    ``"wellconnected:1.5"`` — the grammar the ``cluster-tree`` CLI and
+    checkpoint fingerprints share.
+    """
+    if isinstance(spec, ClusterRequirement):
+        return spec
+    if not isinstance(spec, str):
+        raise ParameterError(f"requirement spec must be a string, got {spec!r}")
+    name, _, arg = spec.partition(":")
+    name = name.strip().lower()
+    try:
+        if name == "conductance":
+            if not arg:
+                raise ParameterError("conductance requirement needs a threshold")
+            return ConductanceRequirement(float(arg))
+        if name == "degree":
+            if not arg:
+                raise ParameterError("degree requirement needs a bound")
+            return MinDegreeRequirement(int(arg))
+        if name == "wellconnected":
+            return WellConnectedRequirement(float(arg) if arg else 1.0)
+    except ValueError as exc:
+        raise ParameterError(f"bad requirement argument in {spec!r}") from exc
+    raise ParameterError(
+        f"unknown requirement {spec!r} "
+        "(expected conductance:PHI, degree:K, or wellconnected[:SCALE])"
+    )

@@ -1,0 +1,314 @@
+"""The cluster tree: per-node stats, validation, JSON and newick export.
+
+A :class:`ClusterTree` is the artifact the work-stack driver emits —
+the hierarchical decomposition of a real graph, CM-style: the root is
+the whole vertex set, each internal node's children partition it, and
+every leaf carries a verdict against the validation requirement.  The
+tree serializes two ways: a lossless JSON document (stats + vertex
+sets, :func:`ClusterTree.from_json` round-trips exactly) and a newick
+string of the topology (the format treeswift-based pipelines consume),
+with :func:`parse_newick` closing the round trip.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.errors import GraphFormatError, VerificationError
+from repro.ctree.requirements import NodeStats, parse_requirement
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+TREE_FORMAT = 1
+
+
+@dataclass
+class ClusterTreeNode:
+    """One cluster in the hierarchy, with the stats the driver measured.
+
+    ``vertices`` are *original* graph ids.  ``satisfied`` is the
+    requirement verdict; ``forced`` marks leaves the driver refused to
+    split further (min-size / max-depth cut-offs) rather than validated.
+    ``beta_split`` is the EST/LDD parameter that produced this node's
+    children (None on leaves); ``runtime_s`` the wall-clock of this
+    node's expansion (0.0 on leaves).
+    """
+
+    id: int
+    parent: int  # -1 at the root
+    level: int
+    vertices: np.ndarray
+    stats: NodeStats
+    satisfied: bool
+    children: List[int] = field(default_factory=list)
+    forced: bool = False
+    beta_split: Optional[float] = None
+    runtime_s: float = 0.0
+
+    @property
+    def size(self) -> int:
+        return int(self.vertices.shape[0])
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def to_dict(
+        self, include_vertices: bool = True, include_runtime: bool = True
+    ) -> dict:
+        d = {
+            "id": self.id,
+            "parent": self.parent,
+            "level": self.level,
+            "size": self.size,
+            "satisfied": bool(self.satisfied),
+            "forced": bool(self.forced),
+            "children": list(self.children),
+            "beta_split": self.beta_split,
+            "runtime_s": self.runtime_s if include_runtime else 0.0,
+            "stats": {
+                "size": self.stats.size,
+                "cut": self.stats.cut,
+                "volume": self.stats.volume,
+                "internal_edges": self.stats.internal_edges,
+                "min_internal_degree": self.stats.min_internal_degree,
+                "conductance": self.stats.conductance,
+                "connected": bool(self.stats.connected),
+            },
+        }
+        if include_vertices:
+            d["vertices"] = np.asarray(self.vertices, dtype=np.int64).tolist()
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ClusterTreeNode":
+        s = d["stats"]
+        return cls(
+            id=int(d["id"]),
+            parent=int(d["parent"]),
+            level=int(d["level"]),
+            vertices=np.asarray(d.get("vertices", []), dtype=np.int64),
+            stats=NodeStats(
+                size=int(s["size"]),
+                cut=int(s["cut"]),
+                volume=int(s["volume"]),
+                internal_edges=int(s["internal_edges"]),
+                min_internal_degree=int(s["min_internal_degree"]),
+                conductance=float(s["conductance"]),
+                connected=bool(s["connected"]),
+            ),
+            satisfied=bool(d["satisfied"]),
+            children=[int(c) for c in d["children"]],
+            forced=bool(d.get("forced", False)),
+            beta_split=d.get("beta_split"),
+            runtime_s=float(d.get("runtime_s", 0.0)),
+        )
+
+
+@dataclass
+class ClusterTree:
+    """The full decomposition: nodes by id, plus build provenance."""
+
+    graph_n: int
+    graph_m: int
+    requirement: str
+    clusterer: str
+    params: Dict[str, object]
+    nodes: Dict[int, ClusterTreeNode]
+    root: int = 0
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    def leaves(self) -> List[ClusterTreeNode]:
+        return [nd for nd in self.nodes.values() if nd.is_leaf]
+
+    def depth(self) -> int:
+        return max((nd.level for nd in self.nodes.values()), default=0)
+
+    def all_leaves_satisfied(self) -> bool:
+        return all(nd.satisfied for nd in self.leaves())
+
+    def validate(self) -> None:
+        """Structural invariants, raised as :class:`VerificationError`:
+
+        * every internal node's children partition its vertex set;
+        * the leaves partition the full vertex set ``[0, graph_n)``;
+        * parent/child links and levels are mutually consistent.
+        """
+        root = self.nodes[self.root]
+        if root.parent != -1:
+            raise VerificationError("root must have parent -1")
+        for nd in self.nodes.values():
+            if nd.children:
+                cat = np.concatenate(
+                    [self.nodes[c].vertices for c in nd.children]
+                )
+                if not np.array_equal(np.sort(cat), np.sort(nd.vertices)):
+                    raise VerificationError(
+                        f"children of node {nd.id} do not partition it"
+                    )
+            for c in nd.children:
+                child = self.nodes[c]
+                if child.parent != nd.id or child.level != nd.level + 1:
+                    raise VerificationError(
+                        f"broken parent/level link at node {c}"
+                    )
+        leaf_cat = np.concatenate([leaf.vertices for leaf in self.leaves()])
+        if not np.array_equal(
+            np.sort(leaf_cat), np.arange(self.graph_n, dtype=np.int64)
+        ):
+            raise VerificationError("leaves do not partition the vertex set")
+
+    def recheck(self) -> bool:
+        """Re-run the requirement over every leaf's recorded stats."""
+        req = parse_requirement(self.requirement)
+        return all(
+            req.check(leaf.stats) for leaf in self.leaves() if not leaf.forced
+        )
+
+    # ------------------------------------------------------------------
+    # JSON
+    # ------------------------------------------------------------------
+    def to_dict(
+        self, include_vertices: bool = True, include_runtime: bool = True
+    ) -> dict:
+        return {
+            "format": TREE_FORMAT,
+            "graph_n": self.graph_n,
+            "graph_m": self.graph_m,
+            "requirement": self.requirement,
+            "clusterer": self.clusterer,
+            "params": dict(self.params),
+            "root": self.root,
+            "nodes": [
+                self.nodes[i].to_dict(
+                    include_vertices=include_vertices,
+                    include_runtime=include_runtime,
+                )
+                for i in sorted(self.nodes)
+            ],
+        }
+
+    def signature(self) -> str:
+        """Canonical JSON with wall-clock timings zeroed.
+
+        Two builds of the same seeded inputs — including a killed and
+        resumed one — produce equal signatures; ``runtime_s`` is the one
+        field that legitimately differs between them.
+        """
+        return json.dumps(self.to_dict(include_runtime=False))
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ClusterTree":
+        if d.get("format") != TREE_FORMAT:
+            raise GraphFormatError(
+                f"unsupported cluster tree format {d.get('format')}"
+            )
+        nodes = {int(nd["id"]): ClusterTreeNode.from_dict(nd) for nd in d["nodes"]}
+        return cls(
+            graph_n=int(d["graph_n"]),
+            graph_m=int(d["graph_m"]),
+            requirement=d["requirement"],
+            clusterer=d["clusterer"],
+            params=dict(d["params"]),
+            nodes=nodes,
+            root=int(d["root"]),
+        )
+
+    def to_json(self, include_vertices: bool = True) -> str:
+        return json.dumps(self.to_dict(include_vertices=include_vertices))
+
+    @classmethod
+    def from_json(cls, text: str) -> "ClusterTree":
+        return cls.from_dict(json.loads(text))
+
+    def save_json(self, path: PathLike, include_vertices: bool = True) -> None:
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(self.to_dict(include_vertices=include_vertices), f, indent=2)
+            f.write("\n")
+
+    @classmethod
+    def load_json(cls, path: PathLike) -> "ClusterTree":
+        with open(path, "r", encoding="utf-8") as f:
+            return cls.from_dict(json.load(f))
+
+    # ------------------------------------------------------------------
+    # newick
+    # ------------------------------------------------------------------
+    def to_newick(self) -> str:
+        """Topology as a newick string, nodes named ``c<id>``.
+
+        Branch lengths are 1 per tree level (the quantity downstream
+        dendrogram tooling plots); children appear in id order, so the
+        output is deterministic.
+        """
+
+        def render(i: int) -> str:
+            nd = self.nodes[i]
+            name = f"c{nd.id}"
+            if nd.is_leaf:
+                return f"{name}:1"
+            inner = ",".join(render(c) for c in sorted(nd.children))
+            return f"({inner}){name}:1"
+
+        # the root's branch length is meaningless; keep it for parser
+        # simplicity (every node is name:length)
+        return render(self.root) + ";"
+
+    def save_newick(self, path: PathLike) -> None:
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(self.to_newick() + "\n")
+
+
+def parse_newick(text: str) -> Tuple[str, float, list]:
+    """Parse a newick string into ``(name, length, children)`` triples.
+
+    Supports the subset :meth:`ClusterTree.to_newick` emits (quoted
+    labels and comments are out of scope): names with optional
+    ``:length`` on every node.  Exists so tests and downstream tooling
+    can round-trip the exported topology without a tree library.
+    """
+    s = text.strip()
+    if not s.endswith(";"):
+        raise GraphFormatError("newick string must end with ';'")
+    s = s[:-1]
+    pos = 0
+
+    def parse_node():
+        nonlocal pos
+        children = []
+        if pos < len(s) and s[pos] == "(":
+            pos += 1  # consume '('
+            while True:
+                children.append(parse_node())
+                if pos >= len(s):
+                    raise GraphFormatError("unbalanced '(' in newick string")
+                if s[pos] == ",":
+                    pos += 1
+                    continue
+                if s[pos] == ")":
+                    pos += 1
+                    break
+                raise GraphFormatError(
+                    f"unexpected {s[pos]!r} at offset {pos} in newick string"
+                )
+        start = pos
+        while pos < len(s) and s[pos] not in ",();":
+            pos += 1
+        label = s[start:pos]
+        name, _, length = label.partition(":")
+        return (name, float(length) if length else 0.0, children)
+
+    node = parse_node()
+    if pos != len(s):
+        raise GraphFormatError(
+            f"trailing characters at offset {pos} in newick string"
+        )
+    return node

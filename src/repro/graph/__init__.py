@@ -27,10 +27,19 @@ from repro.graph.quotient import (
 from repro.graph.components import connected_components, is_connected, largest_component
 from repro.graph.parallel_connectivity import parallel_connectivity, edges_decay_trajectory
 from repro.graph.metrics import (
+    conductance,
+    cut_size,
     degree_stats,
     double_sweep_diameter,
     eccentricity,
     sampled_eccentricities,
+    volume,
+)
+from repro.graph.io import (
+    SnapStats,
+    load_snap,
+    read_snap_header,
+    stream_snap,
 )
 from repro.graph.storage import (
     IngestStats,
@@ -75,10 +84,17 @@ __all__ = [
     "largest_component",
     "parallel_connectivity",
     "edges_decay_trajectory",
+    "conductance",
+    "cut_size",
     "degree_stats",
     "double_sweep_diameter",
     "eccentricity",
     "sampled_eccentricities",
+    "volume",
+    "SnapStats",
+    "load_snap",
+    "read_snap_header",
+    "stream_snap",
     "gnm_random_graph",
     "grid_graph",
     "torus_graph",

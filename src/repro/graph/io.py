@@ -29,6 +29,8 @@ from __future__ import annotations
 
 import io as _io
 import os
+import re
+from dataclasses import dataclass
 from typing import Iterator, Optional, Tuple, Union
 
 import numpy as np
@@ -261,6 +263,148 @@ def load_edgelist(path: PathLike) -> CSRGraph:
     w = np.concatenate(ws)
     n = n_header if n_header is not None else int(max(u.max(), v.max())) + 1
     return from_edges(n, np.stack([u, v], axis=1), w)
+
+
+# ----------------------------------------------------------------------
+# SNAP-format snapshots
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SnapStats:
+    """What :func:`load_snap` saw while cleaning a real-world snapshot.
+
+    Attributes
+    ----------
+    raw_edges:
+        Edge lines parsed, before any cleaning.
+    self_loops:
+        ``u == u`` lines dropped.
+    merged_duplicates:
+        Lines collapsed by duplicate / reverse-orientation merging
+        (``raw_edges - self_loops - m`` of the final graph).
+    header_nodes, header_edges:
+        The ``# Nodes: N Edges: M`` header values, when present.
+    vertex_ids:
+        ``int64[n]`` — original SNAP vertex id of each compact id
+        (SNAP files number vertices arbitrarily; the graph is always
+        relabeled to ``[0, n)`` in ascending original-id order).
+    """
+
+    raw_edges: int
+    self_loops: int
+    merged_duplicates: int
+    header_nodes: Optional[int]
+    header_edges: Optional[int]
+    vertex_ids: np.ndarray
+
+
+def read_snap_header(path: PathLike) -> Tuple[Optional[int], Optional[int]]:
+    """The ``(nodes, edges)`` promised by a ``# Nodes: N Edges: M`` line.
+
+    SNAP snapshots carry free-form ``#`` comments; the conventional
+    census line is recognized anywhere in the leading comment block.
+    Returns ``(None, None)`` when no census line precedes the data.
+    """
+    with open(path, "r", encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            if not line.startswith("#"):
+                return None, None
+            nm = re.search(r"nodes\s*:?\s*(\d+)", line, re.IGNORECASE)
+            em = re.search(r"edges\s*:?\s*(\d+)", line, re.IGNORECASE)
+            if nm or em:
+                return (
+                    int(nm.group(1)) if nm else None,
+                    int(em.group(1)) if em else None,
+                )
+    return None, None
+
+
+def stream_snap(
+    path: PathLike, chunk_edges: int = _TEXT_CHUNK
+) -> Iterator[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Yield raw ``(u, v, w)`` chunks from a SNAP edge file.
+
+    Identical framing to :func:`stream_edgelist` (``#`` comments and
+    blank lines skipped anywhere, CRLF tolerated, bad tokens raise
+    :class:`GraphFormatError` with a line number) — SNAP rows are
+    whitespace- or tab-separated ``FromNodeId ToNodeId`` pairs, with an
+    optional third weight column.  No cleaning happens here: self
+    loops, duplicates, and reversed duplicates flow through for
+    :func:`load_snap` (or a streaming ingester) to resolve.
+    """
+    yield from stream_edgelist(path, chunk_edges=chunk_edges)
+
+
+def load_snap(path: PathLike) -> Tuple[CSRGraph, SnapStats]:
+    """Read a SNAP-format snapshot into a cleaned :class:`CSRGraph`.
+
+    Real-world SNAP dumps are messy in four standard ways, all handled
+    here: arbitrary (non-contiguous, often 1-based) vertex ids are
+    compacted to ``[0, n)``; self loops are dropped; duplicate and
+    reverse-orientation rows (directed dumps list both ``u v`` and
+    ``v u``) are merged, keeping the minimum weight; and a ``# Nodes: N
+    Edges: M`` census line, when present, is checked against what the
+    file actually contains — a file truncated below its own census
+    raises :class:`GraphFormatError` naming the last line read.
+
+    Returns ``(graph, stats)``; ``stats.vertex_ids`` maps compact ids
+    back to the original numbering.
+    """
+    header_nodes, header_edges = read_snap_header(path)
+    us, vs, ws = [], [], []
+    last_lineno = 0
+    with open(path, "r", encoding="utf-8") as f:
+        buf: list = []
+        first_lineno = 1
+        for lineno, line in enumerate(f, start=1):
+            last_lineno = lineno
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            if not buf:
+                first_lineno = lineno
+            buf.append(line)
+            if len(buf) >= _TEXT_CHUNK:
+                cu, cv, cw = _parse_text_block(buf, first_lineno)
+                us.append(cu)
+                vs.append(cv)
+                ws.append(cw)
+                buf = []
+        if buf:
+            cu, cv, cw = _parse_text_block(buf, first_lineno)
+            us.append(cu)
+            vs.append(cv)
+            ws.append(cw)
+
+    u = np.concatenate(us) if us else np.empty(0, np.int64)
+    v = np.concatenate(vs) if vs else np.empty(0, np.int64)
+    w = np.concatenate(ws) if ws else np.empty(0, np.float64)
+    raw_edges = int(u.shape[0])
+    if header_edges is not None and raw_edges < header_edges:
+        raise GraphFormatError(
+            f"truncated SNAP file {path}: header promises {header_edges} "
+            f"edges, found {raw_edges} by line {last_lineno}"
+        )
+    if u.size and (u.min() < 0 or v.min() < 0):
+        raise GraphFormatError(f"negative vertex id in SNAP file {path}")
+
+    # compact arbitrary ids to [0, n), ascending by original id
+    ids = np.unique(np.concatenate([u, v])) if u.size else np.empty(0, np.int64)
+    cu = np.searchsorted(ids, u)
+    cv = np.searchsorted(ids, v)
+    self_loops = int((cu == cv).sum())
+    g = from_edges(int(ids.shape[0]), np.stack([cu, cv], axis=1), w)
+    stats = SnapStats(
+        raw_edges=raw_edges,
+        self_loops=self_loops,
+        merged_duplicates=raw_edges - self_loops - g.m,
+        header_nodes=header_nodes,
+        header_edges=header_edges,
+        vertex_ids=ids,
+    )
+    return g, stats
 
 
 # ----------------------------------------------------------------------

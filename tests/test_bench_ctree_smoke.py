@@ -1,0 +1,62 @@
+"""Tier-1 smoke test for ``benchmarks/bench_ctree.py``.
+
+The full benchmark builds trees on a 20k-node Barabási–Albert graph
+and only runs in the bench suite; this exercises the same code path at
+toy scale so the script (imports, fixture path, payload schema, the
+validity gates) cannot rot unnoticed between bench runs.  Unlike the
+perf benches, the ctree acceptance flags are scale-independent claims
+— they must pass even here.
+"""
+
+import os
+import sys
+
+import pytest
+
+_BENCH_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "benchmarks"
+)
+
+
+@pytest.fixture(scope="module")
+def bench_ctree():
+    sys.path.insert(0, _BENCH_DIR)
+    try:
+        import bench_ctree as module
+    finally:
+        sys.path.remove(_BENCH_DIR)
+    return module
+
+
+def test_payload_schema_and_validity(bench_ctree):
+    payload = bench_ctree.run_ctree_bench(ba_n=400, seed=11)
+
+    fixture = payload["fixture"]
+    assert fixture["path"] == "karate.snap"
+    assert fixture["n"] == 34 and fixture["m"] == 78
+    assert fixture["header_nodes"] == 34 and fixture["header_edges"] == 78
+
+    assert len(payload["runs"]) == len(payload["checks"]) == 3
+    for row in payload["runs"]:
+        assert row["nodes"] >= row["leaves"] >= 1
+        assert row["depth"] >= 1
+        assert row["expansions_per_s"] >= 0
+
+    acc = payload["acceptance"]
+    for key in (
+        "tree_valid",
+        "leaves_satisfied",
+        "roundtrip_json",
+        "roundtrip_newick",
+        "passed",
+    ):
+        assert key in acc, key
+        # validity is scale-independent: asserted even at toy scale
+        assert acc[key] is True, key
+
+
+def test_full_scale_constants(bench_ctree):
+    if bench_ctree.SMOKE:
+        pytest.skip("constants shrink under BENCH_SMOKE=1")
+    assert bench_ctree.BA_N == 20_000
+    assert bench_ctree.BA_ATTACH == 3
