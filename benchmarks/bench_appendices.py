@@ -10,6 +10,7 @@ import pytest
 import _report
 from repro.graph import grid_graph, hard_weight_graph
 from repro.hopsets import build_limited_hopset, build_weight_scales, exact_distance
+from repro.rng import resolve_rng
 
 
 def test_appxB_decomposition_size_and_accuracy(benchmark):
@@ -22,7 +23,7 @@ def test_appxB_decomposition_size_and_accuracy(benchmark):
 
     dec = benchmark.pedantic(build, rounds=3, iterations=1)
 
-    rng = np.random.default_rng(82)
+    rng = resolve_rng(82)
     errs = []
     for _ in range(15):
         s, t = rng.integers(0, g.n, 2)

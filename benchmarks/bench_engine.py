@@ -47,6 +47,7 @@ from repro.graph import gnm_random_graph, with_random_weights
 from repro.kernels import available_backends
 from repro.parallel import effective_workers
 from repro.paths import dijkstra_scipy, shortest_paths
+from repro.rng import resolve_rng
 
 COLUMNS = [
     "section", "workload", "n", "m", "backend", "seconds",
@@ -146,7 +147,7 @@ def run_engine_bench(repeats: int = 2) -> dict:
     Pure function (no file I/O) so the smoke path can exercise it.
     """
     g_int, g_float = _graphs()
-    rng = np.random.default_rng(73)
+    rng = resolve_rng(73)
     est_offsets = rng.exponential(5.0, g_float.n)
     sections = {
         "int_dial": {

@@ -36,6 +36,7 @@ import sys
 import time
 
 import numpy as np
+from repro.rng import resolve_rng
 
 import _report
 
@@ -95,7 +96,7 @@ def _in_subprocess(fn, *args):
 def stage_generate(path: str, n: int, m: int, chunk: int, seed: int) -> dict:
     from repro.graph.io import write_binary_edges, write_binary_header
 
-    rng = np.random.default_rng(seed)
+    rng = resolve_rng(seed)
     with open(path, "wb") as f:
         write_binary_header(f, n, m)
         written = 0

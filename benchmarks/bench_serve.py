@@ -39,6 +39,7 @@ from repro.hopsets import HopsetParams, build_hopset, suggested_hop_bound
 from repro.paths.bellman_ford import hop_limited_distances
 from repro.paths.dijkstra import dijkstra_scipy
 from repro.serve import DistanceServer
+from repro.rng import resolve_rng
 
 SMOKE = os.environ.get("BENCH_SMOKE", "") == "1"
 if SMOKE:
@@ -93,7 +94,7 @@ def run_serve_bench(
     """
     if batch_sizes is None:
         batch_sizes = list(BATCH_SIZES)
-    rng = np.random.default_rng(seed)
+    rng = resolve_rng(seed)
     g = random_geometric_graph(n, radius, seed=graph_seed)
     t0 = time.perf_counter()
     hs = build_hopset(g, params, seed=build_seed, strategy="batched")

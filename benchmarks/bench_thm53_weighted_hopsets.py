@@ -15,6 +15,7 @@ from repro.graph import gnm_random_graph, with_random_weights
 from repro.hopsets import HopsetParams, build_weighted_hopset, exact_distance
 from repro.hopsets.rounding import round_weights
 from repro.pram import PramTracker
+from repro.rng import resolve_rng
 
 PARAMS = HopsetParams(epsilon=0.5, delta=1.5, gamma1=0.15, gamma2=0.5)
 
@@ -35,7 +36,7 @@ def test_thm53_build_and_query(benchmark, weighted_graph):
 
     wh, t = benchmark.pedantic(build, rounds=1, iterations=1)
 
-    rng = np.random.default_rng(74)
+    rng = resolve_rng(74)
     ratios = []
     for _ in range(10):
         s, v = rng.integers(0, g.n, 2)

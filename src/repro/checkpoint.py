@@ -28,7 +28,7 @@ import hashlib
 import json
 import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Union
+from typing import Any, Dict, List, Optional, Union
 
 import numpy as np
 
@@ -39,7 +39,7 @@ PathLike = Union[str, "os.PathLike[str]"]
 CHECKPOINT_FORMAT = 1
 
 
-def graph_fingerprint(g, *extra) -> str:
+def graph_fingerprint(g: Any, *extra: object) -> str:
     """Cheap content hash binding a checkpoint to its build inputs.
 
     Hashes the graph's shape plus a bounded sample of its edge arrays

@@ -23,6 +23,9 @@ Commands
     print distances, bucket structure, and the PRAM ledger.
 ``generate``
     Emit a synthetic graph as an edge list.
+``lint``
+    Run the AST-based invariant checker (:mod:`repro.lint`) over
+    files/directories; exit 1 when findings survive.
 
 Weighted commands accept ``--backend {numpy,numba,reference}`` to pick
 the shortest-path kernel (see :mod:`repro.paths.engine`).  Unlike the
@@ -63,7 +66,7 @@ from repro.graph.io import load_edgelist, save_edgelist
 from repro.pram import PramTracker
 
 
-def _load_graph(args) -> "object":
+def _load_graph(args: argparse.Namespace) -> "object":
     if args.input:
         import os
 
@@ -128,7 +131,7 @@ def _add_workers_arg(p: argparse.ArgumentParser) -> None:
     )
 
 
-def _workers_from_args(args) -> "Optional[int]":
+def _workers_from_args(args: argparse.Namespace) -> "Optional[int]":
     from repro.parallel import set_default_workers, set_shard_mode
 
     set_shard_mode(getattr(args, "shard_mode", "thread"))
@@ -151,7 +154,7 @@ def _add_backend_arg(p: argparse.ArgumentParser) -> None:
     )
 
 
-def cmd_generate(args) -> int:
+def cmd_generate(args: argparse.Namespace) -> int:
     if args.kind == "grid":
         g = grid_graph(args.rows, args.cols)
     elif args.kind == "gnm":
@@ -170,7 +173,7 @@ def cmd_generate(args) -> int:
     return 0
 
 
-def cmd_spanner(args) -> int:
+def cmd_spanner(args: argparse.Namespace) -> int:
     from repro.spanners import max_edge_stretch, unweighted_spanner, weighted_spanner
 
     g = _load_graph(args)
@@ -197,7 +200,7 @@ def cmd_spanner(args) -> int:
     return 0
 
 
-def cmd_hopset(args) -> int:
+def cmd_hopset(args: argparse.Namespace) -> int:
     from repro.hopsets import HopsetParams, build_hopset, exact_distance, hopset_distance
 
     g = _load_graph(args)
@@ -223,7 +226,7 @@ def cmd_hopset(args) -> int:
     return 0
 
 
-def cmd_serve(args) -> int:
+def cmd_serve(args: argparse.Namespace) -> int:
     import os
 
     from repro.hopsets import HopsetParams, build_hopset
@@ -287,7 +290,7 @@ def cmd_serve(args) -> int:
     return 0
 
 
-def cmd_ingest(args) -> int:
+def cmd_ingest(args: argparse.Namespace) -> int:
     from repro.graph.storage import (
         DEFAULT_CHUNK_EDGES,
         ingest_edgelist,
@@ -305,7 +308,7 @@ def cmd_ingest(args) -> int:
     return 0
 
 
-def cmd_connectivity(args) -> int:
+def cmd_connectivity(args: argparse.Namespace) -> int:
     from repro.graph import connected_components
     from repro.graph.parallel_connectivity import parallel_connectivity
 
@@ -320,7 +323,7 @@ def cmd_connectivity(args) -> int:
     return 0 if ncc == ncc_ref else 1
 
 
-def cmd_sparsify(args) -> int:
+def cmd_sparsify(args: argparse.Namespace) -> int:
     from repro.graph import is_connected
     from repro.spanners.sparsify import spanner_sparsify
 
@@ -336,7 +339,7 @@ def cmd_sparsify(args) -> int:
     return 0
 
 
-def cmd_cluster(args) -> int:
+def cmd_cluster(args: argparse.Namespace) -> int:
     from repro.clustering import cluster_radii, cut_fraction, est_cluster
 
     g = _load_graph(args)
@@ -349,7 +352,7 @@ def cmd_cluster(args) -> int:
     return 0
 
 
-def cmd_cluster_tree(args) -> int:
+def cmd_cluster_tree(args: argparse.Namespace) -> int:
     import time
 
     from repro.ctree import build_cluster_tree
@@ -395,7 +398,32 @@ def cmd_cluster_tree(args) -> int:
     return 0 if tree.all_leaves_satisfied() else 1
 
 
-def cmd_sssp(args) -> int:
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import all_rules, lint_paths
+
+    if args.list_rules:
+        for rule_id, rule in sorted(all_rules().items()):
+            print(f"{rule_id}  {rule.title}")
+        return 0
+    select = (
+        [s.strip() for s in args.select.split(",") if s.strip()]
+        if args.select
+        else None
+    )
+    findings = lint_paths(
+        args.paths, select=select, workers=_workers_from_args(args)
+    )
+    for f in findings:
+        print(f.render())
+    n = len(findings)
+    if n:
+        print(f"{n} finding{'s' if n != 1 else ''}")
+        return 1
+    print("clean")
+    return 0
+
+
+def cmd_sssp(args: argparse.Namespace) -> int:
     from repro.paths.engine import shortest_paths
 
     g = _load_graph(args)
@@ -592,6 +620,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="edges per streaming chunk (default 4M)",
     )
     p.set_defaults(fn=cmd_ingest)
+
+    p = sub.add_parser(
+        "lint",
+        help="repo invariant checks (AST rules: determinism, plumbing, "
+        "kernel parity; see repro.lint)",
+    )
+    p.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "benchmarks"],
+        help="files or directories to lint (default: src benchmarks)",
+    )
+    p.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    p.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="per-file analysis threads (0 or negative = all cores)",
+    )
+    p.set_defaults(fn=cmd_lint)
 
     return ap
 

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.errors import ParameterError
 from repro.graph.csr import CSRGraph
+from repro.graph.dedup import presence_unique
 from repro.paths.bfs import bfs_with_start_times
 from repro.paths.engine import shortest_paths
 from repro.paths.weighted_bfs import weighted_bfs_with_start_times
@@ -79,9 +80,7 @@ class Clustering:
         """
         if self.center.size and self.center.min() < 0:
             return np.unique(self.center)
-        seen = np.zeros(self.n, dtype=bool)
-        seen[self.center] = True
-        return np.flatnonzero(seen)
+        return presence_unique(self.n, (self.center,), sparse_factor=1)
 
     @property
     def num_clusters(self) -> int:

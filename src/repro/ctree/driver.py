@@ -31,7 +31,7 @@ Guarantees:
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -131,7 +131,7 @@ def _split_labels(
     backend: Optional[str],
     workers: WorkersArg,
     max_beta_doublings: int,
-):
+) -> Tuple[np.ndarray, int, float]:
     """Cluster ``sub`` into >= 2 pieces (or singletons), deterministically.
 
     Returns ``(labels, k, beta_used)``.  A run that returns one cluster
@@ -162,7 +162,16 @@ def _split_labels(
     )
 
 
-def _checkpoint_fingerprint(g, req, clusterer, beta, min_size, max_depth, method, rng):
+def _checkpoint_fingerprint(
+    g: CSRGraph,
+    req: ClusterRequirement,
+    clusterer: str,
+    beta: float,
+    min_size: int,
+    max_depth: Optional[int],
+    method: str,
+    rng: np.random.Generator,
+) -> str:
     # the entry RNG state binds the checkpoint to the seed, exactly like
     # the batched builders: resuming under a different seed must refuse
     return _ckpt.graph_fingerprint(
@@ -172,8 +181,8 @@ def _checkpoint_fingerprint(g, req, clusterer, beta, min_size, max_depth, method
 
 
 def _save_checkpoint(
-    path, fp, nodes: Dict[int, ClusterTreeNode], stack: List[int],
-    next_id: int, processed: int, rng,
+    path: str, fp: str, nodes: Dict[int, ClusterTreeNode], stack: List[int],
+    next_id: int, processed: int, rng: np.random.Generator,
 ) -> None:
     order = sorted(nodes)
     sizes = np.array([nodes[i].size for i in order], dtype=np.int64)
@@ -202,7 +211,9 @@ def _save_checkpoint(
     ).save(path)
 
 
-def _load_checkpoint(saved: _ckpt.BuildCheckpoint):
+def _load_checkpoint(
+    saved: _ckpt.BuildCheckpoint,
+) -> Tuple[Dict[int, ClusterTreeNode], List[int], int, int, np.random.Generator]:
     order = saved.arrays["node_order"]
     ptr = saved.arrays["vertices_ptr"]
     cat = saved.arrays["vertices_cat"]
@@ -218,7 +229,7 @@ def _load_checkpoint(saved: _ckpt.BuildCheckpoint):
 
 def build_cluster_tree(
     g: CSRGraph,
-    requirement="wellconnected",
+    requirement: Union[str, ClusterRequirement] = "wellconnected",
     *,
     clusterer: str = "est",
     beta: float = 0.25,
@@ -229,7 +240,7 @@ def build_cluster_tree(
     tracker: Optional[PramTracker] = None,
     backend: Optional[str] = None,
     workers: WorkersArg = DEFAULT_WORKERS,
-    checkpoint_path=None,
+    checkpoint_path: Optional[str] = None,
     checkpoint_every: int = 8,
     max_beta_doublings: int = 60,
 ) -> ClusterTree:

@@ -115,7 +115,7 @@ class WellConnectedRequirement(ClusterRequirement):
         )
 
 
-def parse_requirement(spec) -> ClusterRequirement:
+def parse_requirement(spec: "str | ClusterRequirement") -> ClusterRequirement:
     """Build a requirement from a spec string (or pass one through).
 
     ``"conductance:0.5"``, ``"degree:2"``, ``"wellconnected"``,

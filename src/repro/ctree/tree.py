@@ -15,7 +15,7 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -281,7 +281,7 @@ def parse_newick(text: str) -> Tuple[str, float, list]:
     s = s[:-1]
     pos = 0
 
-    def parse_node():
+    def parse_node() -> Tuple[str, float, List[Any]]:
         nonlocal pos
         children = []
         if pos < len(s) and s[pos] == "(":

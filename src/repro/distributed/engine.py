@@ -30,7 +30,7 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import wait as futures_wait
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -211,7 +211,7 @@ class SyncNetwork:
         re-raised."""
         chunks = shard_frontier(np.asarray(actors, dtype=np.int64), nw)
 
-        def sweep(chunk) -> List[Tuple[int, int, Any]]:
+        def sweep(chunk: Sequence[int]) -> List[Tuple[int, int, Any]]:
             buf: List[Tuple[int, int, Any]] = []
             self._tl.outbox = buf
             try:

@@ -46,7 +46,9 @@ def _make_registry() -> Dict[str, Workload]:
 
     reg: Dict[str, Workload] = {}
 
-    def add(name: str, description: str, fn) -> None:
+    def add(
+        name: str, description: str, fn: Callable[..., object]
+    ) -> None:
         reg[name] = Workload(name=name, description=description, build=fn)
 
     add("gnm-small", "G(400, 2400) connected — unit tests and registry runs",

@@ -10,12 +10,13 @@ edge"), and validates.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence, Tuple
+from typing import Any, Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import GraphFormatError
 from repro.graph.csr import CSRGraph, build_csr
+from repro.graph.dedup import first_of_runs
 
 
 def from_edges(
@@ -71,21 +72,16 @@ def from_edges(
     u2 = np.where(swap, v, u)
     v2 = np.where(swap, u, v)
 
-    # merge parallel edges by minimum weight: sort by (u, v, w) and keep
-    # the first representative of each (u, v) run.
+    # merge parallel edges by minimum weight: keep the lightest
+    # representative of each (u, v) run.
     if u2.size:
-        order = np.lexsort((w, v2, u2))
-        u2, v2, w = u2[order], v2[order], w[order]
-        first = np.empty(u2.shape[0], dtype=bool)
-        first[0] = True
-        np.not_equal(u2[1:], u2[:-1], out=first[1:])
-        first[1:] |= v2[1:] != v2[:-1]
-        u2, v2, w = u2[first], v2[first], w[first]
+        keep = first_of_runs((u2, v2), prefer=(w,))
+        u2, v2, w = u2[keep], v2[keep], w[keep]
 
     return build_csr(n, u2, v2, w)
 
 
-def from_networkx(G) -> CSRGraph:
+def from_networkx(G: Any) -> CSRGraph:
     """Convert an (undirected) networkx graph; nodes are relabeled 0..n-1.
 
     ``weight`` edge attributes are honored; missing weights default to 1.
@@ -100,7 +96,7 @@ def from_networkx(G) -> CSRGraph:
     return from_edges(len(nodes), np.asarray(edges, dtype=np.int64).reshape(-1, 2), weights)
 
 
-def to_networkx(g: CSRGraph):
+def to_networkx(g: CSRGraph) -> Any:
     """Convert to a networkx Graph (tests / visualization only)."""
     import networkx as nx
 

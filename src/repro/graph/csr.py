@@ -31,7 +31,7 @@ The undirected edge list itself is kept as ``edge_u``, ``edge_v``,
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Optional, Tuple
+from typing import Any, Iterator, Optional, Tuple
 
 import numpy as np
 
@@ -124,7 +124,7 @@ class CSRGraph:
 
         return suggest_delta(self.n, self.num_arcs, self.max_weight)
 
-    def light_heavy_split(self, delta) -> Tuple[np.ndarray, ...]:
+    def light_heavy_split(self, delta: float) -> Tuple[np.ndarray, ...]:
         """Cached light/heavy arc partition of the CSR at width ``delta``.
 
         Returns :func:`repro.kernels.numpy_kernel.split_light_heavy`'s
@@ -187,7 +187,7 @@ class CSRGraph:
         """(m, 2) int array of undirected endpoints."""
         return np.stack([self.edge_u, self.edge_v], axis=1)
 
-    def to_scipy(self):
+    def to_scipy(self) -> Any:
         """Return the symmetric adjacency as ``scipy.sparse.csr_matrix``."""
         from scipy.sparse import csr_matrix
 

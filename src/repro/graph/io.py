@@ -31,7 +31,7 @@ import io as _io
 import os
 import re
 from dataclasses import dataclass
-from typing import Iterator, Optional, Tuple, Union
+from typing import BinaryIO, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -145,7 +145,9 @@ def save_edgelist(
             f.write("\n")
 
 
-def _parse_text_block(lines, first_lineno: int):
+def _parse_text_block(
+    lines: List[str], first_lineno: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Parse stripped, comment-free lines into ``(u, v, w)`` arrays.
 
     Fast path: one C-speed ``np.loadtxt`` call over the whole block
@@ -173,7 +175,9 @@ def _parse_text_block(lines, first_lineno: int):
     return u.astype(np.int64), v.astype(np.int64), w
 
 
-def _parse_text_block_slow(lines, first_lineno: int):
+def _parse_text_block_slow(
+    lines: List[str], first_lineno: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     us = np.empty(len(lines), dtype=np.int64)
     vs = np.empty(len(lines), dtype=np.int64)
     ws = np.ones(len(lines), dtype=np.float64)
@@ -410,7 +414,7 @@ def load_snap(path: PathLike) -> Tuple[CSRGraph, SnapStats]:
 # ----------------------------------------------------------------------
 # binary edge lists
 # ----------------------------------------------------------------------
-def write_binary_header(f, n: int, m: int) -> None:
+def write_binary_header(f: BinaryIO, n: int, m: int) -> None:
     """Write the binary edge-list header to an open binary file."""
     f.write(_BIN_MAGIC)
     f.write(np.uint32(_BIN_VERSION).tobytes())
@@ -418,7 +422,7 @@ def write_binary_header(f, n: int, m: int) -> None:
     f.write(np.int64(m).tobytes())
 
 
-def write_binary_edges(f, u: np.ndarray, v: np.ndarray, w: np.ndarray) -> None:
+def write_binary_edges(f: BinaryIO, u: np.ndarray, v: np.ndarray, w: np.ndarray) -> None:
     """Append a chunk of ``(u, v, w)`` records after the header."""
     rec = np.empty(np.asarray(u).shape[0], dtype=_BIN_RECORD)
     rec["u"], rec["v"], rec["w"] = u, v, w

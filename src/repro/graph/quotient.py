@@ -16,6 +16,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.graph.csr import CSRGraph, build_csr
+from repro.graph.dedup import first_of_runs, presence_unique
 
 
 @dataclass(frozen=True)
@@ -83,13 +84,8 @@ def quotient_graph(
     qv2 = np.where(swap, qu, qv)
 
     if qu2.size:
-        order = np.lexsort((w, qv2, qu2))
-        qu2, qv2, w, ids = qu2[order], qv2[order], w[order], ids[order]
-        first = np.empty(qu2.shape[0], dtype=bool)
-        first[0] = True
-        np.not_equal(qu2[1:], qu2[:-1], out=first[1:])
-        first[1:] |= qv2[1:] != qv2[:-1]
-        qu2, qv2, w, ids = qu2[first], qv2[first], w[first], ids[first]
+        keep = first_of_runs((qu2, qv2), prefer=(w,))
+        qu2, qv2, w, ids = qu2[keep], qv2[keep], w[keep], ids[keep]
 
     g = build_csr(nq, qu2, qv2, np.asarray(w, dtype=np.float64))
     return QuotientResult(graph=g, vertex_map=vmap, rep_edge_ids=ids)
@@ -184,16 +180,12 @@ def quotient_forest(
 
     key_u = edge_group * span + edge_u
     key_v = edge_group * span + edge_v
+    used = presence_unique(int(num_groups * span), (key_u, key_v))
     if 16 * key_u.shape[0] >= num_groups * span:
-        # keys are bounded by num_groups * span: a presence bitmap plus
-        # one flatnonzero replaces the hash-based np.unique, and a
-        # scatter table replaces the two per-edge searchsorted relabel
-        # passes (this runs once per weight level of the batched spanner)
-        seen = np.zeros(int(num_groups * span), dtype=bool)
-        seen[key_u] = True
-        seen[key_v] = True
-        used = np.flatnonzero(seen)
-        label = np.empty(seen.shape[0], dtype=np.int64)
+        # keys are bounded by num_groups * span: a scatter table
+        # replaces the two per-edge searchsorted relabel passes (this
+        # runs once per weight level of the batched spanner)
+        label = np.empty(int(num_groups * span), dtype=np.int64)
         label[used] = np.arange(used.shape[0], dtype=np.int64)
         qu = label[key_u]
         qv = label[key_v]
@@ -201,7 +193,6 @@ def quotient_forest(
         # sparse rounds (e.g. the grouping=False ablation activating
         # every bucket at once on a big graph): stay O(m log m) instead
         # of allocating dense num_groups * span tables
-        used = np.unique(np.concatenate([key_u, key_v]))
         qu = np.searchsorted(used, key_u)
         qv = np.searchsorted(used, key_v)
     ptr = np.searchsorted(
@@ -216,13 +207,8 @@ def quotient_forest(
     qu2 = np.where(swap, qv, qu)
     qv2 = np.where(swap, qu, qv)
     if qu2.size:
-        order = np.lexsort((w, qv2, qu2))
-        qu2, qv2, w, ids = qu2[order], qv2[order], w[order], ids[order]
-        first = np.empty(qu2.shape[0], dtype=bool)
-        first[0] = True
-        np.not_equal(qu2[1:], qu2[:-1], out=first[1:])
-        first[1:] |= qv2[1:] != qv2[:-1]
-        qu2, qv2, w, ids = qu2[first], qv2[first], w[first], ids[first]
+        keep = first_of_runs((qu2, qv2), prefer=(w,))
+        qu2, qv2, w, ids = qu2[keep], qv2[keep], w[keep], ids[keep]
 
     return QuotientForestResult(
         graph=build_csr(int(used.shape[0]), qu2, qv2, w),

@@ -48,6 +48,7 @@ from numpy.lib.format import open_memmap
 
 from repro.errors import GraphFormatError
 from repro.graph.csr import CSRGraph, csr_from_arrays
+from repro.graph.dedup import first_of_runs
 
 PathLike = Union[str, "os.PathLike[str]"]
 
@@ -219,7 +220,14 @@ def ingest_edge_chunks(
     return graph, stats
 
 
-def _ingest(chunks, store_path, tmp, n, chunk_edges, mmap_mode):
+def _ingest(
+    chunks: Iterable[Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]],
+    store_path: str,
+    tmp: str,
+    n: Optional[int],
+    chunk_edges: int,
+    mmap_mode: bool,
+) -> Tuple[CSRGraph, "IngestStats"]:
     # ---- pass 1: canonicalize + count --------------------------------
     deg = np.zeros(0 if n is None else n, dtype=np.int64)
     m_raw = 0
@@ -348,13 +356,8 @@ def _ingest(chunks, store_path, tmp, n, chunk_edges, mmap_mode):
         v = np.asarray(bv[blk])
         w = np.asarray(bw[blk])
         if u.shape[0]:
-            order = np.lexsort((w, v, u))
-            u, v, w = u[order], v[order], w[order]
-            first = np.empty(u.shape[0], dtype=bool)
-            first[0] = True
-            np.not_equal(u[1:], u[:-1], out=first[1:])
-            first[1:] |= v[1:] != v[:-1]
-            u, v, w = u[first], v[first], w[first]
+            keep = first_of_runs((u, v), prefer=(w,))
+            u, v, w = u[keep], v[keep], w[keep]
             du[m : m + u.shape[0]] = u
             dv[m : m + u.shape[0]] = v
             dw[m : m + u.shape[0]] = w
@@ -375,7 +378,7 @@ def _ingest(chunks, store_path, tmp, n, chunk_edges, mmap_mode):
     indptr = np.zeros(n + 1, dtype=np.int64)
     np.cumsum(deg_u + deg_v, out=indptr[1:])
 
-    def _final(name, dtype, count):
+    def _final(name: str, dtype: Union[str, np.dtype], count: int) -> np.ndarray:
         fpath = os.path.join(store_path, name + ".npy")
         if count == 0:
             _write_array(fpath, np.empty(0, dtype))

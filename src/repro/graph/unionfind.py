@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.graph.dedup import first_of_runs, presence_unique
+
 
 class UnionFind:
     """Disjoint-set forest over ``n`` elements with union by size."""
@@ -79,13 +81,7 @@ class UnionFind:
         b = self.find_many(vs)
         if a.size == 0:
             return 0
-        if 16 * a.size < self.parent.shape[0]:
-            r0 = np.unique(np.concatenate([a, b]))
-        else:
-            seen = np.zeros(self.parent.shape[0], dtype=bool)
-            seen[a] = True
-            seen[b] = True
-            r0 = np.flatnonzero(seen)
+        r0 = presence_unique(int(self.parent.shape[0]), (a, b), sparse_factor=8)
         pre_sizes = self.size[r0].copy()
         p = self.parent
         merged = 0
@@ -95,13 +91,9 @@ class UnionFind:
                 break
             lo = np.minimum(a[live], b[live])
             hi = np.maximum(a[live], b[live])
-            order = np.lexsort((lo, hi))
-            hi_s, lo_s = hi[order], lo[order]
-            first = np.empty(hi_s.shape[0], dtype=bool)
-            first[0] = True
-            np.not_equal(hi_s[1:], hi_s[:-1], out=first[1:])
-            p[hi_s[first]] = lo_s[first]
-            merged += int(first.sum())
+            hook = first_of_runs((hi,), prefer=(lo,))
+            p[hi[hook]] = lo[hook]
+            merged += int(hook.shape[0])
             a = self.find_many(a)
             b = self.find_many(b)
         if merged:

@@ -24,6 +24,7 @@ import numpy as np
 from repro.errors import ParameterError
 from repro.graph.builders import from_edges
 from repro.graph.csr import CSRGraph
+from repro.graph.dedup import first_of_runs
 from repro.hopsets.params import HopsetParams
 from repro.hopsets.rounding import round_weights
 from repro.hopsets.unweighted import build_hopset
@@ -180,13 +181,8 @@ def build_limited_hopset(
         # scales re-derive many of the same center pairs
         lo = np.minimum(out_u, out_v)
         hi = np.maximum(out_u, out_v)
-        order = np.lexsort((out_w, hi, lo))
-        lo, hi, out_w = lo[order], hi[order], out_w[order]
-        first = np.empty(lo.shape[0], dtype=bool)
-        first[0] = True
-        np.not_equal(lo[1:], lo[:-1], out=first[1:])
-        first[1:] |= hi[1:] != hi[:-1]
-        out_u, out_v, out_w = lo[first], hi[first], out_w[first]
+        keep = first_of_runs((lo, hi), prefer=(out_w,))
+        out_u, out_v, out_w = lo[keep], hi[keep], out_w[keep]
     else:
         out_u = np.empty(0, np.int64)
         out_v = np.empty(0, np.int64)

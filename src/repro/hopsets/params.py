@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
+from typing import Any
 
 from repro.errors import ParameterError
 
@@ -93,6 +94,6 @@ class HopsetParams:
         """Lemma 4.2's multiplicative distortion ``1 + O(eps log_rho n)``."""
         return 1.0 + self.epsilon * (1 + self.expected_levels(n))
 
-    def with_(self, **kw) -> "HopsetParams":
+    def with_(self, **kw: Any) -> "HopsetParams":
         """Functional update (frozen dataclass convenience)."""
         return replace(self, **kw)

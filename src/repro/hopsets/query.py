@@ -51,7 +51,13 @@ def suggested_hop_bound(hopset: HopsetResult, d_estimate: float) -> int:
     return min(h, max(n, 2))
 
 
-def _frontier_rounds(hopset, sources, h, tracker, state=None):
+def _frontier_rounds(
+    hopset: "HopsetResult",
+    sources: np.ndarray,
+    h: int,
+    tracker: PramTracker,
+    state: Optional[Tuple[np.ndarray, ...]] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int]:
     """One frontier-kernel call over the hopset's cached union CSR,
     with each executed round charged to the ledger at the arcs it
     actually gathered (dense Bellman–Ford charged ``|arcs|`` per round;

@@ -72,7 +72,7 @@ class HopsetResult:
             object.__setattr__(self, "_arcs", cached)
         return cached
 
-    def union_csr(self):
+    def union_csr(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Cached CSR compilation ``(indptr, indices, weights)`` of
         :meth:`arcs` — the adjacency the frontier-based query kernel
         (:func:`repro.kernels.numpy_kernel.hop_sssp_batch`) gathers

@@ -37,7 +37,7 @@ class RoundedGraph:
     k: int
     zeta: float
 
-    def to_original_units(self, rounded_dist: float | np.ndarray):
+    def to_original_units(self, rounded_dist: float | np.ndarray) -> float | np.ndarray:
         """Convert a rounded-graph distance back to original weight units."""
         return self.w_hat * rounded_dist
 

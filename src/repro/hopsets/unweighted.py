@@ -79,7 +79,13 @@ class _Collector:
         self.kind: List[np.ndarray] = []
         self.level_stats: Dict[int, Dict[str, float]] = {}
 
-    def add_edges(self, eu, ev, ew, kind_code: int) -> None:
+    def add_edges(
+        self,
+        eu: np.ndarray,
+        ev: np.ndarray,
+        ew: np.ndarray,
+        kind_code: int,
+    ) -> None:
         eu = np.asarray(eu, dtype=np.int64)
         if eu.size == 0:
             return
@@ -235,7 +241,7 @@ def _recurse(
                 False,
                 params,
                 n_top,
-                np.random.default_rng(int(child_seeds[lab])),
+                resolve_rng(int(child_seeds[lab])),
                 method,
                 child_tracker,
                 out,
@@ -320,7 +326,7 @@ def _recurse(
             False,
             params,
             n_top,
-            np.random.default_rng(int(child_seeds[idx])),
+            resolve_rng(int(child_seeds[idx])),
             method,
             child_tracker,
             out,
@@ -472,7 +478,7 @@ def _build_level_sync(
     star_weights: str = "tree",
     backend: Optional[str] = None,
     workers: WorkersArg = DEFAULT_WORKERS,
-    checkpoint_path=None,
+    checkpoint_path: Optional[str] = None,
     checkpoint_every: int = 1,
 ) -> None:
     """Level-synchronous execution of Algorithm 4 (the batched strategy).
@@ -623,7 +629,7 @@ def _build_level_sync(
             break
         seeds = [spawn_seeds(rngs[j], int(spawn_counts[j])) for j in range(k)]
         new_rngs = [
-            np.random.default_rng(int(seeds[lab_group[lab]][local_idx[lab]]))
+            resolve_rng(int(seeds[lab_group[lab]][local_idx[lab]]))
             for lab in child_labels
         ]
         child_groups = [clustering.members(int(lab)) for lab in child_labels]
@@ -646,7 +652,7 @@ def build_hopset(
     backend: Optional[str] = None,
     strategy: str = "batched",
     workers: WorkersArg = DEFAULT_WORKERS,
-    checkpoint_path=None,
+    checkpoint_path: Optional[str] = None,
     checkpoint_every: int = 1,
 ) -> HopsetResult:
     """Run Algorithm 4 on ``g`` and return the hopset.

@@ -47,11 +47,11 @@ at them in that case).
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.parallel.pool import DEFAULT_WORKERS, effective_workers
+from repro.parallel.pool import DEFAULT_WORKERS, WorkersArg, effective_workers
 
 try:  # pragma: no cover - exercised only where numba is installed
     from numba import njit, prange
@@ -537,8 +537,8 @@ def hop_sssp_batch_numba(
     run_src: np.ndarray,
     run_ptr: np.ndarray,
     h: int,
-    workers=DEFAULT_WORKERS,
-    state=None,
+    workers: WorkersArg = DEFAULT_WORKERS,
+    state: Optional[Tuple[np.ndarray, ...]] = None,
 ) -> Tuple[np.ndarray, np.ndarray, List[int], np.ndarray]:
     """JIT twin of :func:`repro.kernels.numpy_kernel.hop_sssp_batch`.
 
@@ -607,9 +607,9 @@ def bucket_sssp_numba(
     sources: np.ndarray,
     offsets: np.ndarray,
     ranks: np.ndarray,
-    delta,
-    max_dist=None,
-    light_heavy=None,
+    delta: Optional[float],
+    max_dist: Optional[float] = None,
+    light_heavy: Optional[Tuple[np.ndarray, ...]] = None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, List[int], List[int]]:
     """Numba wrapper matching :func:`repro.kernels.numpy_kernel.bucket_sssp`.
 
@@ -676,10 +676,10 @@ def bucket_sssp_batch_numba(
     run_ptr: np.ndarray,
     offsets: np.ndarray,
     ranks: np.ndarray,
-    delta,
-    max_dist=None,
-    light_heavy=None,
-    workers=DEFAULT_WORKERS,
+    delta: Optional[float],
+    max_dist: Optional[float] = None,
+    light_heavy: Optional[Tuple[np.ndarray, ...]] = None,
+    workers: WorkersArg = DEFAULT_WORKERS,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, List[int], List[int]]:
     """Batch counterpart of :func:`repro.kernels.numpy_kernel.bucket_sssp_batch`.
 

@@ -94,7 +94,7 @@ INT_INF = np.iinfo(np.int64).max
 PAR_MIN_SHARD = 2048
 
 
-def count_occupied_buckets(dist: np.ndarray, mask: np.ndarray, delta) -> int:
+def count_occupied_buckets(dist: np.ndarray, mask: np.ndarray, delta: float) -> int:
     """Distinct width-``delta`` distance bands among ``dist[mask]``.
 
     Sequential backends (heapq reference, numba heap) reconstruct
@@ -129,7 +129,7 @@ def split_light_heavy(
     indptr: np.ndarray,
     indices: np.ndarray,
     weights: np.ndarray,
-    delta,
+    delta: float,
 ) -> Tuple[np.ndarray, ...]:
     """Partition a CSR adjacency into light (``w <= delta``) and heavy
     (``w > delta``) sub-CSRs.
@@ -247,7 +247,9 @@ def hop_sssp_batch(
     pool: Optional[ThreadPoolExecutor] = None
     round_arcs: List[int] = []
 
-    def _reduce_min(nbr, cand):
+    def _reduce_min(
+        nbr: np.ndarray, cand: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
         """One winner (the minimum candidate) per distinct claimed state.
         Min is associative, so per-shard reduction + one merge pass over
         shard winners equals a single global pass for any shard layout."""
@@ -258,7 +260,9 @@ def hop_sssp_batch(
         np.not_equal(nbr_s[1:], nbr_s[:-1], out=first[1:])
         return nbr_s[first], cand_s[first]
 
-    def _gather_shard(shard):
+    def _gather_shard(
+        shard: np.ndarray,
+    ) -> Tuple[Optional[np.ndarray], Optional[np.ndarray], int]:
         """Improving candidates out of one contiguous frontier shard,
         claim-reduced, against the pre-round snapshot (pure reads)."""
         vv = shard if single else shard % n
@@ -325,9 +329,9 @@ def bucket_sssp(
     sources: np.ndarray,
     offsets: np.ndarray,
     ranks: np.ndarray,
-    delta,
-    max_dist=None,
-    light_heavy=None,
+    delta: Optional[float],
+    max_dist: Optional[float] = None,
+    light_heavy: Optional[Tuple[np.ndarray, ...]] = None,
     workers: WorkersArg = DEFAULT_WORKERS,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, List[int], List[int]]:
     """Multi-source bucket SSSP over raw CSR arrays.
@@ -390,9 +394,9 @@ def bucket_sssp_batch(
     run_ptr: np.ndarray,
     offsets: np.ndarray,
     ranks: np.ndarray,
-    delta,
-    max_dist=None,
-    light_heavy=None,
+    delta: Optional[float],
+    max_dist: Optional[float] = None,
+    light_heavy: Optional[Tuple[np.ndarray, ...]] = None,
     workers: WorkersArg = DEFAULT_WORKERS,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, List[int], List[int]]:
     """Source-tagged batch of ``k`` independent bucket-SSSP runs.
@@ -477,7 +481,9 @@ def bucket_sssp_batch(
         adjacencies[1] = light_heavy[:3]
         adjacencies[2] = light_heavy[3:]
 
-    def _claim(nbr, src, cand):
+    def _claim(
+        nbr: np.ndarray, src: np.ndarray, cand: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Min ``(cand, rank, src)`` reduction per claimed state: one
         winner per distinct ``nbr``.  The key is a strict total order
         within each state's claims, so applying this per shard and then
@@ -489,7 +495,13 @@ def bucket_sssp_batch(
         np.not_equal(nbr_s[1:], nbr_s[:-1], out=first[1:])
         return nbr_s[first], src_s[first], cand_s[first]
 
-    def _gather_shard(shard, xip, xidx, xw, wc):
+    def _gather_shard(
+        shard: np.ndarray,
+        xip: np.ndarray,
+        xidx: np.ndarray,
+        xw: np.ndarray,
+        wc: Optional[float],
+    ) -> Tuple[Optional[np.ndarray], Optional[np.ndarray], Optional[np.ndarray], int]:
         """Claim-reduced improving candidates out of one contiguous
         frontier shard, against the pre-round label snapshot.  Pure
         reads — the GIL-releasing half of a relaxation round."""
@@ -518,14 +530,23 @@ def bucket_sssp_batch(
         nbr, src, cand = _claim(nbr[improving], arc_src[improving], cand[improving])
         return nbr, src, cand, total
 
-    def _proc_gather(adj_id, lo, hi, wc):
+    def _proc_gather(
+        adj_id: int, lo: int, hi: int, wc: Optional[float]
+    ) -> Tuple[Optional[np.ndarray], Optional[np.ndarray], Optional[np.ndarray], int]:
         """Worker-side shard gather (runs in a forked child): the shard
         is read from the fork-shared scratch buffer, the adjacency from
         the fork-inherited snapshot, labels from the shared mmaps."""
         xip, xidx, xw = adjacencies[adj_id]
         return _gather_shard(scratch[lo:hi], xip, xidx, xw, wc)
 
-    def _relax_round(frontier, xip, xidx, xw, wc=None, adj_id=0):
+    def _relax_round(
+        frontier: np.ndarray,
+        xip: np.ndarray,
+        xidx: np.ndarray,
+        xw: np.ndarray,
+        wc: Optional[float] = None,
+        adj_id: int = 0,
+    ) -> Tuple[Optional[np.ndarray], Optional[np.ndarray], int]:
         """One claim-resolved relaxation of ``frontier`` over the
         sub-adjacency ``(xip, xidx, xw)``, sharded across the thread
         pool (or the forked shard workers in process mode) when the

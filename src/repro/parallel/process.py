@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import mmap
 import multiprocessing
-from typing import Any, Callable, List, Sequence
+from typing import Any, Callable, List, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -43,7 +43,7 @@ def fork_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
 
 
-def shared_empty(shape, dtype) -> np.ndarray:
+def shared_empty(shape: Union[int, Tuple[int, ...]], dtype: Any) -> np.ndarray:
     """Uninitialized array backed by an anonymous ``MAP_SHARED`` mmap.
 
     Writes made by whichever process holds the array are visible to
@@ -67,7 +67,7 @@ class _RemoteError:
         self.detail = str(exc)
 
 
-def _worker_loop(conn, fn: Callable[..., Any]) -> None:
+def _worker_loop(conn: Any, fn: Callable[..., Any]) -> None:
     """Child main: apply the fork-inherited ``fn`` to each task tuple
     until the coordinator sends ``None``."""
     try:
@@ -156,5 +156,5 @@ class ForkShardPool:
     def __enter__(self) -> "ForkShardPool":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.shutdown()

@@ -19,6 +19,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.graph.csr import CSRGraph
+from repro.graph.dedup import first_of_runs, presence_unique
 from repro.kernels.numpy_kernel import expand_frontier
 from repro.pram.tracker import PramTracker, null_tracker
 
@@ -106,9 +107,7 @@ def bfs_with_start_times(
     # EST races list every vertex as a source exactly once; when ids are
     # distinct the per-batch duplicate resolution below is a no-op and
     # its np.unique (one per round) is pure overhead
-    seen_src = np.zeros(n, dtype=bool)
-    seen_src[sid] = True
-    distinct = int(np.count_nonzero(seen_src)) == k
+    distinct = int(presence_unique(n, (sid,), sparse_factor=1).shape[0]) == k
 
     frontier = np.empty(0, np.int64)
     round_no = 0
@@ -155,13 +154,9 @@ def bfs_with_start_times(
         if nbr.size:
             # resolve concurrent claims: min priority per neighbor wins
             claim_prio = owner_prio[arc_src]
-            sel = np.lexsort((claim_prio, nbr))
-            nbr_s, src_s, prio_s = nbr[sel], arc_src[sel], claim_prio[sel]
-            first = np.empty(nbr_s.shape[0], dtype=bool)
-            first[0] = True
-            np.not_equal(nbr_s[1:], nbr_s[:-1], out=first[1:])
-            win_v = nbr_s[first]
-            win_p = src_s[first]
+            win = first_of_runs((nbr,), prefer=(claim_prio,))
+            win_v = nbr[win]
+            win_p = arc_src[win]
             arrival[win_v] = round_no + 1
             parent[win_v] = win_p
             owner[win_v] = owner[win_p]

@@ -21,6 +21,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.graph.csr import CSRGraph
+from repro.parallel.pool import DEFAULT_WORKERS, WorkersArg
 from repro.pram.tracker import PramTracker, null_tracker
 
 
@@ -30,6 +31,7 @@ def delta_stepping(
     delta: Optional[float] = None,
     tracker: Optional[PramTracker] = None,
     backend: Optional[str] = None,
+    workers: WorkersArg = DEFAULT_WORKERS,
 ) -> Tuple[np.ndarray, int]:
     """Single-source shortest paths by delta-stepping.
 
@@ -37,7 +39,9 @@ def delta_stepping(
     phases (the outer sequential dimension of the algorithm's depth).
     ``delta`` defaults to the engine's ``max_w / avg_degree``
     heuristic (:meth:`CSRGraph.suggest_delta`); ``backend`` picks the
-    kernel as in :func:`repro.paths.engine.shortest_paths`.
+    kernel and ``workers`` the engine's multicore knob (results are
+    identical for every value), as in
+    :func:`repro.paths.engine.shortest_paths`.
     """
     from repro.paths.engine import shortest_paths
 
@@ -49,5 +53,6 @@ def delta_stepping(
         delta=delta,
         tracker=tracker,
         backend=backend,
+        workers=workers,
     )
     return res.dist.astype(np.float64, copy=False), res.buckets

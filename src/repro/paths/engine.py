@@ -105,7 +105,7 @@ sequential dimension) and ``res.relax_rounds`` the inner total.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Any, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -248,7 +248,7 @@ def shortest_paths(
 def sssp(
     g: CSRGraph,
     source: int,
-    **kwargs,
+    **kwargs: Any,
 ) -> ShortestPathResult:
     """Single-source convenience wrapper around :func:`shortest_paths`."""
     return shortest_paths(g, np.asarray([source]), **kwargs)
@@ -281,7 +281,10 @@ class BatchShortestPathResult:
         return int(self.dist.shape[0])
 
 
-def _normalize_runs(sources, offsets) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+def _normalize_runs(
+    sources: Union[np.ndarray, int, Sequence[Any]],
+    offsets: Optional[Union[np.ndarray, Sequence[Any]]],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Flatten batch sources into ``(run_src, run_ptr, offs)``.
 
     ``sources`` is either a flat integer array (k singleton runs) or a
@@ -323,8 +326,8 @@ def _normalize_runs(sources, offsets) -> Tuple[np.ndarray, np.ndarray, np.ndarra
 
 def shortest_paths_batch(
     g: CSRGraph,
-    sources,
-    offsets=None,
+    sources: Union[np.ndarray, int, Sequence[Any]],
+    offsets: Optional[Union[np.ndarray, Sequence[Any]]] = None,
     *,
     weights: Optional[np.ndarray] = None,
     delta: Optional[float] = None,
@@ -468,8 +471,11 @@ def shortest_paths_batch(
 
 
 def _resolve_weights_and_delta(
-    g: CSRGraph, weights: Optional[np.ndarray], offsets: np.ndarray, delta
-):
+    g: CSRGraph,
+    weights: Optional[np.ndarray],
+    offsets: np.ndarray,
+    delta: Optional[float],
+) -> Tuple[np.ndarray, bool, float]:
     """Shared per-call setup: weight override validation, integer
     (Dial) mode detection, and the default bucket width — one policy
     for single and batched calls."""
@@ -495,7 +501,13 @@ def _resolve_weights_and_delta(
     return w, int_mode, delta
 
 
-def _resolve_split(g: CSRGraph, weights, w: np.ndarray, delta, int_mode: bool):
+def _resolve_split(
+    g: CSRGraph,
+    weights: Optional[np.ndarray],
+    w: np.ndarray,
+    delta: float,
+    int_mode: bool,
+) -> Optional[Tuple[np.ndarray, ...]]:
     """Light/heavy arc partition for the float (true delta-stepping)
     path; ``None`` keeps the integer Dial schedule bit-for-bit."""
     if int_mode:
@@ -505,7 +517,14 @@ def _resolve_split(g: CSRGraph, weights, w: np.ndarray, delta, int_mode: bool):
     return split_light_heavy(g.indptr, g.indices, w, delta)
 
 
-def _prune_to_ball(dist, parent, owner, settled, int_mode: bool, max_dist):
+def _prune_to_ball(
+    dist: np.ndarray,
+    parent: np.ndarray,
+    owner: np.ndarray,
+    settled: np.ndarray,
+    int_mode: bool,
+    max_dist: float,
+) -> np.ndarray:
     """Ball cleanup shared by single and batched calls: vertices whose
     buckets were cut off, plus bucket-mates that settled just beyond
     the cutoff (the numpy kernel finishes whole buckets), report as
@@ -535,8 +554,8 @@ def _run_reference(
     offsets: np.ndarray,
     w: np.ndarray,
     int_mode: bool,
-    delta,
-    max_dist,
+    delta: float,
+    max_dist: Optional[float],
     tracker: PramTracker,
 ) -> ShortestPathResult:
     """Heapq oracle wrapped into the engine's result/accounting shape."""

@@ -41,6 +41,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import ParameterError
+from repro.graph.csr import CSRGraph
 from repro.hopsets.result import HopsetResult
 from repro.kernels import hop_sssp_batch, hop_sssp_batch_numba, resolve_backend
 from repro.pram.tracker import PramTracker, null_tracker
@@ -295,7 +296,7 @@ def save_hopset(hopset: HopsetResult, path: str) -> None:
     )
 
 
-def load_hopset(graph, path: str) -> HopsetResult:
+def load_hopset(graph: CSRGraph, path: str) -> HopsetResult:
     """Rehydrate a saved hopset against its graph (n must match)."""
     with np.load(path, allow_pickle=False) as z:
         n = int(z["n"])

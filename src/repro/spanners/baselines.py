@@ -13,12 +13,13 @@
 from __future__ import annotations
 
 import math
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.errors import ParameterError
 from repro.graph.csr import CSRGraph
+from repro.graph.dedup import first_of_runs
 from repro.pram.tracker import PramTracker, null_tracker
 from repro.rng import SeedLike, resolve_rng
 from repro.spanners.result import SpannerResult
@@ -49,7 +50,9 @@ def baswana_sen_spanner(
     alive = np.ones(m, dtype=bool)  # E', the working edge set
     kept: List[np.ndarray] = []
 
-    def _vertex_cluster_lightest(active_src_mask: np.ndarray):
+    def _vertex_cluster_lightest(
+        active_src_mask: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """Group alive arcs (src active, dst clustered) by (src, dst-cluster);
         return per-group lightest arc columns (v, c, w, eid)."""
         src = np.concatenate([g.edge_u, g.edge_v])
@@ -60,13 +63,8 @@ def baswana_sen_spanner(
         v, c, w, e = src[sel], cluster[dst[sel]], g.edge_w[np.concatenate([np.arange(m)] * 2)[sel]], eid[sel]
         if v.size == 0:
             return v, c, w, e
-        order = np.lexsort((e, w, c, v))
-        v, c, w, e = v[order], c[order], w[order], e[order]
-        first = np.empty(v.shape[0], dtype=bool)
-        first[0] = True
-        np.not_equal(v[1:], v[:-1], out=first[1:])
-        first[1:] |= c[1:] != c[:-1]
-        return v[first], c[first], w[first], e[first]
+        keep = first_of_runs((v, c), prefer=(w, e))
+        return v[keep], c[keep], w[keep], e[keep]
 
     for _ in range(k - 1):
         tracker.parallel_round(work=2 * int(alive.sum()) + n, rounds=3)
@@ -91,15 +89,11 @@ def baswana_sen_spanner(
             vs, cs, ws, es = v[is_sampled_c], c[is_sampled_c], w[is_sampled_c], e[is_sampled_c]
             # rows are sorted by (v, c, w); per-v min needs a pass
             if vs.size:
-                order2 = np.lexsort((es, ws, vs))
-                vs, cs, ws, es = vs[order2], cs[order2], ws[order2], es[order2]
-                first2 = np.empty(vs.shape[0], dtype=bool)
-                first2[0] = True
-                np.not_equal(vs[1:], vs[:-1], out=first2[1:])
-                has_sampled[vs[first2]] = True
-                best_w[vs[first2]] = ws[first2]
-                best_e[vs[first2]] = es[first2]
-                best_c[vs[first2]] = cs[first2]
+                keep2 = first_of_runs((vs,), prefer=(ws, es))
+                has_sampled[vs[keep2]] = True
+                best_w[vs[keep2]] = ws[keep2]
+                best_e[vs[keep2]] = es[keep2]
+                best_c[vs[keep2]] = cs[keep2]
 
             # case (a): no sampled neighbor -> keep lightest edge per
             # adjacent cluster, vertex leaves the clustering, all its

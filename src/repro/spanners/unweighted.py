@@ -24,6 +24,7 @@ import numpy as np
 from repro.clustering.est import Clustering, est_cluster
 from repro.errors import ParameterError
 from repro.graph.csr import CSRGraph
+from repro.graph.dedup import first_of_runs
 from repro.pram.primitives import charge_semisort
 from repro.pram.tracker import PramTracker, null_tracker
 from repro.rng import SeedLike
@@ -102,13 +103,7 @@ def unweighted_spanner(
         e_side = eid[inter]
         charge_semisort(tracker, int(inter.sum()) + g.n)
         if v_side.size:
-            order = np.lexsort((e_side, c_side, v_side))
-            v_s, c_s, e_s = v_side[order], c_side[order], e_side[order]
-            first = np.empty(v_s.shape[0], dtype=bool)
-            first[0] = True
-            np.not_equal(v_s[1:], v_s[:-1], out=first[1:])
-            first[1:] |= c_s[1:] != c_s[:-1]
-            boundary_ids = e_s[first]
+            boundary_ids = e_side[first_of_runs((v_side, c_side), prefer=(e_side,))]
         else:
             boundary_ids = np.empty(0, np.int64)
 

@@ -46,6 +46,7 @@ from repro.clustering.est import est_cluster, est_cluster_forest
 from repro.clustering.shifts import sample_shifts
 from repro.errors import ParameterError
 from repro.graph.csr import CSRGraph
+from repro.graph.dedup import first_of_runs, presence_unique
 from repro.graph.quotient import QuotientResult, quotient_forest, quotient_graph
 from repro.graph.unionfind import UnionFind
 from repro.pram.tracker import PramTracker, null_tracker
@@ -139,12 +140,7 @@ def _unique_edge_ids(m: int, parts: List[np.ndarray]) -> np.ndarray:
     hundreds of thousands of ids per build, where hash/sort
     ``np.unique`` was a visible profile cost.
     """
-    if not parts:
-        return np.empty(0, np.int64)
-    seen = np.zeros(m, dtype=bool)
-    for p in parts:
-        seen[p] = True
-    return np.flatnonzero(seen)
+    return presence_unique(m, parts, sparse_factor=0)
 
 
 def _boundary_edge_ids(gq: CSRGraph, labels: np.ndarray) -> np.ndarray:
@@ -165,13 +161,7 @@ def _boundary_edge_ids(gq: CSRGraph, labels: np.ndarray) -> np.ndarray:
     v_side = src[inter]
     c_side = lab[dst[inter]]
     e_side = gq.edge_ids[inter]
-    order = np.lexsort((e_side, c_side, v_side))
-    v_s, c_s, e_s = v_side[order], c_side[order], e_side[order]
-    first = np.empty(v_s.shape[0], dtype=bool)
-    first[0] = True
-    np.not_equal(v_s[1:], v_s[:-1], out=first[1:])
-    first[1:] |= c_s[1:] != c_s[:-1]
-    return e_s[first]
+    return e_side[first_of_runs((v_side, c_side), prefer=(e_side,))]
 
 
 def _well_separated_spanner(
@@ -179,7 +169,7 @@ def _well_separated_spanner(
     edge_idx: np.ndarray,
     bucket: np.ndarray,
     k: float,
-    rng,
+    rng: np.random.Generator,
     method: str,
     tracker: PramTracker,
     backend: Optional[str] = None,
@@ -238,7 +228,7 @@ def _well_separated_spanner_batched(
     tracker: PramTracker,
     backend: Optional[str] = None,
     workers: WorkersArg = DEFAULT_WORKERS,
-    checkpoint_path=None,
+    checkpoint_path: Optional[str] = None,
     checkpoint_every: int = 1,
 ) -> np.ndarray:
     """All groups' Algorithm 3 runs, executed level-synchronously.
@@ -272,7 +262,7 @@ def _well_separated_spanner_batched(
     """
     n = g.n
     beta = spanner_beta(n, k)
-    rngs = [np.random.default_rng(int(s)) for s in seeds]
+    rngs = [resolve_rng(int(s)) for s in seeds]
     kept: List[np.ndarray] = []
 
     fp = None
@@ -364,10 +354,9 @@ def _well_separated_spanner_batched(
         gj, ru, rv, ids = gj[live], ru[live], rv[live], ids[live]
 
         # compact the round's still-active groups into blocks
-        present = np.zeros(len(groups), dtype=bool)
-        present[gj] = True
-        active = np.flatnonzero(present)
-        blk_of_group = np.cumsum(present) - 1
+        active = presence_unique(len(groups), (gj,), sparse_factor=0)
+        blk_of_group = np.empty(len(groups), dtype=np.int64)
+        blk_of_group[active] = np.arange(active.shape[0], dtype=np.int64)
 
         # ---- the round's contraction, once, on the union --------------
         qf = quotient_forest(
@@ -429,7 +418,7 @@ def weighted_spanner(
     backend: Optional[str] = None,
     strategy: str = "batched",
     workers: WorkersArg = DEFAULT_WORKERS,
-    checkpoint_path=None,
+    checkpoint_path: Optional[str] = None,
     checkpoint_every: int = 1,
 ) -> SpannerResult:
     """Construct an O(k)-spanner of a weighted graph (Theorem 3.3).
@@ -503,7 +492,7 @@ def weighted_spanner(
             child_tracker = tracker.fork()
             kept.append(
                 _well_separated_spanner(
-                    g, grp, bucket, k, np.random.default_rng(int(seeds[j])),
+                    g, grp, bucket, k, resolve_rng(int(seeds[j])),
                     method, child_tracker, backend=backend, workers=workers,
                 )
             )

@@ -1,0 +1,11 @@
+"""Fixture: engine call site drops the plumbing (API001 fires)."""
+
+from repro.paths.engine import shortest_paths, shortest_paths_batch
+
+
+def query(g, s):
+    return shortest_paths(g, s)
+
+
+def query_batch(g, runs):
+    return shortest_paths_batch(g, runs, backend="numpy")

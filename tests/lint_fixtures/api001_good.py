@@ -1,0 +1,11 @@
+"""Fixture: engine call sites forward backend=/workers= (API001-clean)."""
+
+from repro.paths.engine import shortest_paths
+
+
+def query(g, s, backend=None, workers=None):
+    return shortest_paths(g, s, backend=backend, workers=workers)
+
+
+def query_forwarding(g, s, **kwargs):
+    return shortest_paths(g, s, **kwargs)

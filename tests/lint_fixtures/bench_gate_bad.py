@@ -1,0 +1,6 @@
+"""Fixture: benchmark that can never fail (BEN001 fires)."""
+
+
+def main():
+    elapsed = 1.0
+    return {"elapsed_s": elapsed}

@@ -1,0 +1,8 @@
+"""Fixture: benchmark with a machine-checkable acceptance gate."""
+
+
+def main():
+    elapsed = 1.0
+    results = {"elapsed_s": elapsed}
+    results["acceptance"] = {"passed": elapsed < 10.0, "floor_s": 10.0}
+    return results

@@ -1,0 +1,19 @@
+"""Fixture: both dedup idioms re-inlined (DUP001 fires twice)."""
+
+import numpy as np
+
+
+def dedup_edges(u, v, w):
+    sel = np.lexsort((w, v, u))
+    u, v, w = u[sel], v[sel], w[sel]
+    first = np.empty(u.shape[0], dtype=bool)
+    first[0] = True
+    np.not_equal(u[1:], u[:-1], out=first[1:])
+    return u[first], v[first], w[first]
+
+
+def distinct(size, parts):
+    present = np.zeros(size, dtype=bool)
+    for p in parts:
+        present[p] = True
+    return np.flatnonzero(present)

@@ -1,0 +1,18 @@
+"""Fixture: dedup via the audited helpers (DUP001-clean)."""
+
+import numpy as np
+
+from repro.graph.dedup import first_of_runs, presence_unique
+
+
+def dedup_edges(u, v, w):
+    keep = first_of_runs((u, v), prefer=(w,))
+    return u[keep], v[keep], w[keep]
+
+
+def distinct(size, parts):
+    return presence_unique(size, parts)
+
+
+def touches_numpy(x):
+    return np.asarray(x)

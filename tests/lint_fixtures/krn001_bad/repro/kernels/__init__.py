@@ -1,0 +1,6 @@
+"""Fixture: registry missing a numba twin and HAVE_NUMBA (KRN001 fires)."""
+
+from repro.kernels.numpy_kernel import bucket_sssp, hop_sssp
+from repro.kernels.numba_kernel import hop_sssp_numba
+
+__all__ = ["bucket_sssp", "hop_sssp", "hop_sssp_numba"]

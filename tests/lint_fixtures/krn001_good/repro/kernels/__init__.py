@@ -1,0 +1,16 @@
+"""Fixture: registry with full numpy/numba parity (KRN001-clean)."""
+
+from repro.kernels.numpy_kernel import bucket_sssp, hop_sssp
+from repro.kernels.numba_kernel import (
+    HAVE_NUMBA,
+    bucket_sssp_numba,
+    hop_sssp_numba,
+)
+
+__all__ = [
+    "HAVE_NUMBA",
+    "bucket_sssp",
+    "bucket_sssp_numba",
+    "hop_sssp",
+    "hop_sssp_numba",
+]

@@ -1,0 +1,11 @@
+"""Fixture: mutable defaults shared across calls (MUT001 fires)."""
+
+import numpy as np
+
+
+def collect(items=[], table={}):
+    return items, table
+
+
+def buffered(buf=list(), arr=np.zeros(4)):
+    return buf, arr

@@ -1,0 +1,7 @@
+"""Fixture: None defaults materialized in the body (MUT001-clean)."""
+
+
+def collect(items=None, table=None):
+    items = [] if items is None else items
+    table = {} if table is None else table
+    return items, table

@@ -1,0 +1,20 @@
+"""Fixture: pool worker writes a shared array (PAR001 fires)."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+OUT = np.zeros(8)
+
+
+def worker(lo, hi):
+    OUT[lo:hi] = 1.0  # data race: closure array written from a worker
+    return None
+
+
+def run():
+    with ThreadPoolExecutor(max_workers=2) as ex:
+        futures = [ex.submit(worker, 0, 4), ex.submit(worker, 4, 8)]
+        for f in futures:
+            f.result()
+    return OUT

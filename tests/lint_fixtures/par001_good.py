@@ -1,0 +1,19 @@
+"""Fixture: pool worker does pure reads, returns a claim buffer."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+SNAPSHOT = np.arange(8)
+
+
+def worker(lo, hi):
+    buf = SNAPSHOT[lo:hi] * 2  # pure read against the snapshot
+    return buf
+
+
+def run():
+    with ThreadPoolExecutor(max_workers=2) as ex:
+        futures = [ex.submit(worker, 0, 4), ex.submit(worker, 4, 8)]
+        merged = np.concatenate([f.result() for f in futures])
+    return merged

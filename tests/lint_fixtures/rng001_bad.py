@@ -1,0 +1,12 @@
+"""Fixture: every way RNG001 should fire."""
+
+import random
+import numpy as np
+from numpy.random import default_rng
+
+
+def sample(n):
+    rng = np.random.default_rng(0)
+    jitter = random.random()
+    other = default_rng(1)
+    return rng, jitter, other, n

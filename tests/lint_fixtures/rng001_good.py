@@ -1,0 +1,8 @@
+"""Fixture: randomness routed through repro.rng (RNG001-clean)."""
+
+from repro.rng import resolve_rng
+
+
+def sample(n, seed=None):
+    rng = resolve_rng(seed)
+    return rng.random(n)

@@ -1,0 +1,12 @@
+"""Fixture: wall-clock / PID seeds (RNG002 fires)."""
+
+import os
+import time
+
+
+def build(seed=7):
+    return seed
+
+
+CLOCKED = build(seed=int(time.time()))
+seed = os.getpid()

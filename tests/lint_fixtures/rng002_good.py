@@ -1,0 +1,8 @@
+"""Fixture: explicit seeds only (RNG002-clean)."""
+
+
+def build(seed=7):
+    return seed
+
+
+RESULT = build(seed=7)

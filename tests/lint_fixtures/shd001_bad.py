@@ -1,0 +1,8 @@
+"""Fixture: builtins shadowed four ways (SHD001 fires)."""
+
+
+def pick(id, list):
+    type = "x"
+    for str in ("a", "b"):
+        type += str
+    return id, list, type

@@ -1,0 +1,8 @@
+"""Fixture: no builtin names rebound (SHD001-clean)."""
+
+
+def pick(idx, values):
+    kind = "x"
+    for name in ("a", "b"):
+        kind += name
+    return idx, values, kind

@@ -1,0 +1,5 @@
+"""Fixture: bare marker -> original finding stays AND LNT001 fires."""
+
+import numpy as np
+
+BARE = np.random.default_rng(5)  # repro: noqa[RNG001]

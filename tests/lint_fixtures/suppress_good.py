@@ -1,0 +1,8 @@
+"""Fixture: justified suppressions silence findings (no LNT001)."""
+
+import numpy as np
+
+INLINE = np.random.default_rng(3)  # repro: noqa[RNG001]: fixture exercises same-line suppression
+
+# repro: noqa[RNG001]: fixture exercises preceding-comment-line suppression
+PREV_LINE = np.random.default_rng(4)
