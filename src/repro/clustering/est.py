@@ -150,9 +150,13 @@ class Clustering:
 
 
 def _canonical_tree_parents(
-    g: CSRGraph, dist: np.ndarray, parent: np.ndarray, owner: np.ndarray
+    g: CSRGraph,
+    dist: np.ndarray,
+    parent: np.ndarray,
+    owner: np.ndarray,
+    weights: Optional[np.ndarray] = None,
 ) -> np.ndarray:
-    """Backend-independent forest parents for an exact-race result.
+    """Backend-independent forest parents for a race result.
 
     The engine guarantees identical ``dist``/``owner`` across kernels,
     but ``parent`` is only pinned when shortest paths are unique —
@@ -164,18 +168,93 @@ def _canonical_tree_parents(
     candidate, candidates strictly decrease ``dist`` (weights are
     positive), and owners are constant along the chain, so the result
     is a valid cluster forest with the same tree distances and a
-    kernel-independent shape.  Cross-backend spanner equality builds
-    on this.
+    kernel-independent shape.  Cross-backend spanner/forest equality
+    builds on this.
+
+    ``weights`` overrides the per-slot arc weights (the integer Dial
+    races run on ``int64`` weight views of the same CSR).  Integer
+    distance arrays use ``int64`` max as infinity, so the tightness
+    check is evaluated only on slots whose source is reached — the sum
+    must never wrap.
     """
     if g.num_arcs == 0:
         return parent
     src = g.arc_sources()
     dst = g.indices
+    w = g.weights if weights is None else weights
     ok = (parent[dst] >= 0) & (owner[src] == owner[dst])
-    ok &= dist[src] + g.weights == dist[dst]
+    if dist.dtype.kind in "iu":
+        ok &= dist[src] != np.iinfo(np.int64).max
+        idx = np.flatnonzero(ok)
+        idx = idx[dist[src[idx]] + w[idx] == dist[dst[idx]]]
+        out = parent.copy()
+        np.minimum.at(out, dst[idx], src[idx])
+        return out
+    ok &= dist[src] + w == dist[dst]
     out = parent.copy()
     np.minimum.at(out, dst[ok], src[ok])
     return out
+
+
+def _canonical_dial_race(
+    g: CSRGraph,
+    dist: np.ndarray,
+    start_int: np.ndarray,
+    weights: np.ndarray,
+    sources: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Backend-independent ``(owner, parent)`` for an integer Dial race.
+
+    The engine's ``dist`` is kernel-independent, but ``owner`` is not
+    when several sources achieve a vertex's raced distance exactly: the
+    bucket kernels only claim on *strict* improvement, so the first
+    scheduled writer keeps equal-key ties, while the reference heap
+    breaks them by source rank — canonicalizing parents alone
+    (:func:`_canonical_tree_parents`) cannot reconcile forests whose
+    owners already disagree.  This pass recomputes both labels from
+    ``dist`` only.  ``owner[v]`` becomes the *smallest-id* source
+    achieving ``dist[v]``, found by seeding every source ``s`` with
+    ``dist[s] == start_int[s]`` as its own achiever and propagating the
+    minimum over tight arcs (``dist[u] + w == dist[v]``): an achiever
+    of ``u`` extends to ``v`` along a tight arc, and conversely the
+    last arc of any achieving path is tight with its prefix achieved,
+    so the fixpoint is exactly the achiever set.  Dial weights are
+    ``>= 1``, hence tight arcs strictly increase ``dist`` and one
+    sweep per distance level suffices (the level count is the race's
+    own round depth).  Parents are then the smallest same-owner tight
+    predecessor; roots (``owner[v] == v``) keep ``-1``.  Unreached
+    vertices keep ``owner = parent = -1``.
+    """
+    n = g.n
+    int_inf = np.iinfo(np.int64).max
+    own = np.full(n, n, dtype=np.int64)  # n == "no achiever yet"
+    reached = dist != int_inf
+    base = sources[dist[sources] == start_int[sources]]
+    own[base] = base
+    src = g.arc_sources()
+    dst = g.indices
+    ok = reached[src] & reached[dst]
+    idx = np.flatnonzero(ok)
+    idx = idx[dist[src[idx]] + weights[idx] == dist[dst[idx]]]
+    order = np.argsort(dist[dst[idx]], kind="stable")
+    idx = idx[order]
+    lev = dist[dst[idx]]
+    if idx.shape[0]:
+        level_start = np.flatnonzero(
+            np.concatenate(([True], lev[1:] != lev[:-1]))
+        )
+        bounds = np.append(level_start, idx.shape[0])
+        for a, b in zip(bounds[:-1], bounds[1:]):
+            ii = idx[a:b]
+            np.minimum.at(own, dst[ii], own[src[ii]])
+    parent = np.full(n, -1, dtype=np.int64)
+    keep = idx[own[src[idx]] == own[dst[idx]]]
+    cand = np.full(n, n, dtype=np.int64)
+    np.minimum.at(cand, dst[keep], src[keep])
+    nonroot = reached & (own != np.arange(n, dtype=np.int64)) & (own < n)
+    parent[nonroot] = cand[nonroot]
+    own[own == n] = -1
+    return own, parent
 
 
 def est_cluster(
@@ -269,6 +348,10 @@ def est_cluster(
                     tracker=tracker,
                     backend=backend,
                     workers=workers,
+                )
+                owner, parent = _canonical_dial_race(
+                    g, sdist, start_int, w_int,
+                    sources=np.arange(n, dtype=np.int64),
                 )
             dist_to_center = (sdist - start_int[owner]).astype(np.float64)
             rounds = levels
@@ -436,10 +519,13 @@ def est_cluster_forest(
                     backend=backend,
                     workers=workers,
                 )
-            center[verts] = res.owner[verts]
-            parent[verts] = res.parent[verts]
+            own, par = _canonical_dial_race(
+                g, res.dist, start_int, w_int, sources=verts
+            )
+            center[verts] = own[verts]
+            parent[verts] = par[verts]
             dist_to_center[verts] = (
-                res.dist[verts] - start_int[res.owner[verts]]
+                res.dist[verts] - start_int[own[verts]]
             ).astype(np.float64)
             rounds = max(rounds, res.buckets)
         else:

@@ -1,0 +1,29 @@
+"""Dynamic graphs: incremental hopset/spanner maintenance under churn.
+
+ROADMAP open item 3.  Edge updates arrive as :class:`UpdateBatch`
+(deduplicated inserts/deletes; inserts *set* weights, which makes every
+applied batch exactly invertible).  :func:`apply_batch` advances the
+CSR graph and reports the repair views; :class:`DynamicHopset` repairs
+only the level-0 blocks the batch dirties (bit-identical per-block
+rebuilds from recorded seeds — see
+:class:`repro.hopsets.result.RepairStructure`); :class:`DynamicSpanner`
+runs a connectivity-modifier-style validate-and-repair pass with the
+full seeded rebuild as oracle.  Correctness under churn is pinned at
+the *guarantee* level (Definition 2.4 edge validity, served-distance
+exactness, certified stretch) rather than edge identity —
+``tests/test_dynamic.py`` and ``benchmarks/bench_dynamic.py`` check
+both after every batch.
+"""
+
+from repro.dynamic.batch import ApplyResult, UpdateBatch, apply_batch
+from repro.dynamic.hopset import DynamicHopset, repair_hopset
+from repro.dynamic.spanner import DynamicSpanner
+
+__all__ = [
+    "ApplyResult",
+    "UpdateBatch",
+    "apply_batch",
+    "DynamicHopset",
+    "repair_hopset",
+    "DynamicSpanner",
+]

@@ -1,0 +1,247 @@
+"""Validate-and-repair spanner maintenance under edge churn.
+
+Modeled on connectivity-modifier's loop: keep the structure, find the
+members an update *damaged*, repair locally, and fall back to the full
+seeded rebuild oracle when damage is too broad.  Concretely, with
+certified stretch bound ``t``:
+
+* surviving spanner edges are remapped through ``old_to_new``;
+* applied inserts join the spanner outright (stretch 1 — always legal,
+  additions only shrink spanner distances);
+* an edge of the new graph can have *lost* its certificate only if its
+  old certifying path (length ``<= t * w``) ran through a *damaged*
+  spanner member — a deleted or weight-increased edge of the old
+  spanner (deleting a non-member never changes ``H``).  One
+  multi-source Dijkstra **on the old spanner** from the damaged
+  endpoints bounds that: a path through a damaged vertex ``x`` is at
+  least ``d(u, x) + d(x, v) >= mdist[u] + mdist[v]``, so any edge with
+  ``mdist[u] + mdist[v] > t * w`` kept its certificate;
+* the surviving candidates are certified cheaply before any per-edge
+  search: full Dijkstra rows from the (few) damaged vertices on the
+  *new* spanner give ``d_H'(u, x) + d_H'(x, v)`` — a concrete ``u-v``
+  path — and candidates within ``t * w`` of some damaged vertex are
+  done.  Only the residual (plus weight-decreased edges whose bound
+  tightened) is verified exactly on the new spanner, and violated
+  edges join it.  All sweeps prune at ``t * max_w``, beyond which no
+  edge can care.
+
+Additions can only decrease spanner distances, so a single pass is
+sound and the certified bound stays exactly ``t``.  The repair is pure
+scipy — trivially identical across ``backend=``/``workers=`` — and the
+fallback rebuild draws its seed from a spawned stream *every* apply, so
+the whole trajectory is deterministic for a fixed seed and batch
+sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.graph.builders import subgraph_by_edge_ids
+from repro.graph.csr import CSRGraph
+from repro.graph.dedup import presence_unique
+from repro.parallel.pool import DEFAULT_WORKERS, WorkersArg
+from repro.rng import SeedLike, resolve_rng, spawn_seeds
+from repro.spanners.result import SpannerResult
+from repro.spanners.unweighted import unweighted_spanner
+from repro.spanners.weighted import weighted_spanner
+from repro.dynamic.batch import ApplyResult, UpdateBatch, apply_batch
+
+_REL_TOL = 1e-9
+
+
+def _build_spanner(
+    g: CSRGraph,
+    k: float,
+    seed: int,
+    method: str,
+    backend: Optional[str],
+    workers: WorkersArg,
+) -> SpannerResult:
+    if g.m and bool(np.all(g.edge_w == 1.0)):
+        return unweighted_spanner(
+            g, k, seed=seed, backend=backend, workers=workers
+        )
+    return weighted_spanner(
+        g, k, seed=seed, method=method, backend=backend, workers=workers
+    )
+
+
+@dataclass
+class DynamicSpanner:
+    """A spanner kept current under edge churn by validate-and-repair.
+
+    ``rebuild_threshold`` bounds the repair's reach: when the damaged
+    spanner edges plus applied inserts exceed that fraction of the
+    spanner, :meth:`apply` falls back to the full seeded rebuild (the
+    oracle) instead of repairing — mirroring connectivity-modifier's
+    well-connectedness fallback.
+    """
+
+    graph: CSRGraph
+    result: SpannerResult
+    k: float
+    rng: np.random.Generator
+    method: str = "round"
+    backend: Optional[str] = None
+    workers: WorkersArg = DEFAULT_WORKERS
+    rebuild_threshold: float = 0.25
+
+    @classmethod
+    def build(
+        cls,
+        g: CSRGraph,
+        k: float,
+        seed: SeedLike = None,
+        method: str = "round",
+        backend: Optional[str] = None,
+        workers: WorkersArg = DEFAULT_WORKERS,
+        rebuild_threshold: float = 0.25,
+    ) -> "DynamicSpanner":
+        if not 0.0 < rebuild_threshold <= 1.0:
+            raise ParameterError("rebuild_threshold must be in (0, 1]")
+        rng = resolve_rng(seed)
+        build_seed = int(spawn_seeds(rng, 1)[0])
+        result = _build_spanner(g, k, build_seed, method, backend, workers)
+        return cls(
+            graph=g,
+            result=result,
+            k=k,
+            rng=rng,
+            method=method,
+            backend=backend,
+            workers=workers,
+            rebuild_threshold=rebuild_threshold,
+        )
+
+    def _repair(self, ar: ApplyResult) -> Dict[str, int]:
+        from scipy.sparse.csgraph import dijkstra as sp_dijkstra
+
+        old = self.result
+        t = old.stretch_bound
+        g_new = ar.graph
+        mapped = ar.old_to_new[old.edge_ids]
+        lost = old.edge_ids[mapped < 0]
+        surviving = mapped[mapped >= 0]
+
+        h_ids = presence_unique(
+            g_new.m, (surviving, ar.inserted_ids), sparse_factor=0
+        )
+        in_h = np.zeros(g_new.m, dtype=bool)
+        in_h[h_ids] = True
+
+        # damaged endpoints: deleted spanner members (``lost``) and
+        # weight-increased members (paths through them lengthen).
+        # Removing or reweighting a non-member never changes ``H``, so
+        # it damages no certificate — at most its own bound loosens.
+        surv_old = np.flatnonzero(ar.old_to_new >= 0)
+        surv_new = ar.old_to_new[surv_old]
+        heavier = g_new.edge_w[surv_new] > self.graph.edge_w[surv_old] * (
+            1.0 + _REL_TOL
+        )
+        inc_members = surv_new[heavier & in_h[surv_new]]
+        dsrc = presence_unique(
+            g_new.n,
+            (
+                self.graph.edge_u[lost],
+                self.graph.edge_v[lost],
+                g_new.edge_u[inc_members],
+                g_new.edge_v[inc_members],
+            ),
+        )
+
+        check_ids = ar.reweighted_ids[~in_h[ar.reweighted_ids]]
+        reach = (
+            t * float(g_new.edge_w.max() if g_new.m else 0.0) * (1.0 + _REL_TOL)
+        )
+        cheap = 0
+        h_new = None
+        if dsrc.size:
+            h_old = subgraph_by_edge_ids(self.graph, old.edge_ids).to_scipy()
+            mdist = sp_dijkstra(
+                h_old, directed=False, indices=dsrc, min_only=True,
+                limit=reach,
+            )
+            # an old certificate for (u, v) that routed through a damaged
+            # vertex x had length >= d(u, x) + d(x, v) >= mdist[u] +
+            # mdist[v]; edges whose sum exceeds t * w kept theirs
+            near = mdist[g_new.edge_u] + mdist[g_new.edge_v]
+            cand = np.flatnonzero(
+                ~in_h & (near <= t * g_new.edge_w * (1.0 + _REL_TOL))
+            )
+            check_ids = presence_unique(g_new.m, (check_ids, cand))
+            if check_ids.size:
+                # cheap certificates: a row per damaged vertex on the new
+                # spanner exhibits the concrete path u -> x -> v
+                h_new = subgraph_by_edge_ids(g_new, h_ids).to_scipy()
+                rows = sp_dijkstra(
+                    h_new, directed=False, indices=dsrc, limit=reach
+                )
+                cu = g_new.edge_u[check_ids]
+                cv = g_new.edge_v[check_ids]
+                via = (rows[:, cu] + rows[:, cv]).min(axis=0)
+                done = via <= t * g_new.edge_w[check_ids] * (1.0 + _REL_TOL)
+                cheap = int(done.sum())
+                check_ids = check_ids[~done]
+
+        violated = np.empty(0, np.int64)
+        if check_ids.size:
+            if h_new is None:
+                h_new = subgraph_by_edge_ids(g_new, h_ids).to_scipy()
+            cu = g_new.edge_u[check_ids]
+            cv = g_new.edge_v[check_ids]
+            srcs, inv = np.unique(cu, return_inverse=True)
+            dist = sp_dijkstra(h_new, directed=False, indices=srcs, limit=reach)
+            bound = t * g_new.edge_w[check_ids] * (1.0 + _REL_TOL)
+            violated = check_ids[dist[inv, cv] > bound]
+
+        edge_ids = presence_unique(g_new.m, (h_ids, violated), sparse_factor=0)
+        meta = dict(old.meta)
+        meta["repaired"] = meta.get("repaired", 0.0) + 1.0
+        self.result = SpannerResult(
+            graph=g_new, edge_ids=edge_ids,
+            stretch_bound=old.stretch_bound, meta=meta,
+        )
+        return {
+            "lost_edges": int(lost.shape[0]),
+            "candidates": cheap + int(check_ids.shape[0]),
+            "readded": int(violated.shape[0]),
+            "rebuilt": 0,
+        }
+
+    def apply(self, batch: UpdateBatch) -> Dict[str, Any]:
+        ar = apply_batch(self.graph, batch)
+        # one spawn per apply keeps the trajectory deterministic whether
+        # or not this batch crosses the rebuild threshold
+        seed = int(spawn_seeds(self.rng, 1)[0])
+        damage = int(ar.removed_u.shape[0]) + int(ar.inserted_ids.shape[0])
+        if damage > self.rebuild_threshold * max(self.result.size, 1):
+            self.result = _build_spanner(
+                ar.graph, self.k, seed, self.method, self.backend, self.workers
+            )
+            info: Dict[str, Any] = {
+                "lost_edges": 0, "candidates": 0, "readded": 0, "rebuilt": 1,
+            }
+        else:
+            info = dict(self._repair(ar))
+        self.graph = ar.graph
+        out: Dict[str, Any] = dict(ar.stats)
+        out.update(info)
+        out["inverse"] = ar.inverse
+        out["spanner_edges"] = self.result.size
+        return out
+
+    def rebuild(self, seed: SeedLike = None) -> SpannerResult:
+        """Full seeded build on the current graph — the repair oracle."""
+        return _build_spanner(
+            self.graph,
+            self.k,
+            int(resolve_rng(seed).integers(0, 2**63 - 1)),
+            self.method,
+            self.backend,
+            self.workers,
+        )

@@ -21,7 +21,7 @@ holds for any pair with probability >= 1/2.
 """
 
 from repro.hopsets.params import HopsetParams
-from repro.hopsets.result import HopsetResult, LevelStats
+from repro.hopsets.result import HopsetResult, LevelStats, RepairStructure
 from repro.hopsets.unweighted import build_hopset
 from repro.hopsets.rounding import round_weights, RoundedGraph
 from repro.hopsets.weighted import build_weighted_hopset, WeightedHopset, ScaleHopset
@@ -40,6 +40,7 @@ __all__ = [
     "HopsetParams",
     "HopsetResult",
     "LevelStats",
+    "RepairStructure",
     "build_hopset",
     "round_weights",
     "RoundedGraph",

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -26,6 +26,26 @@ class LevelStats:
 
 
 @dataclass(frozen=True)
+class RepairStructure:
+    """Level-0 decomposition retained for localized dynamic repair.
+
+    The batched builder's level 0 only *splits*: it emits no edges, and
+    every deeper subproblem — hence every hopset edge — lives inside a
+    single level-0 cluster.  Recording the level-0 labels plus the child
+    seed spawned for each cluster therefore suffices to rebuild any one
+    block independently and bit-identically (blocks never interact), the
+    foundation of :mod:`repro.dynamic`.
+    """
+
+    top_labels: np.ndarray  # int64[n]: level-0 cluster of each vertex
+    top_seeds: np.ndarray  # int64[nclus]: child seed per level-0 cluster
+
+    @property
+    def num_blocks(self) -> int:
+        return int(self.top_seeds.shape[0])
+
+
+@dataclass(frozen=True)
 class HopsetResult:
     """A hopset: shortcut edges over the vertex set of ``graph``.
 
@@ -42,6 +62,7 @@ class HopsetResult:
     kind: np.ndarray  # 0 = star edge, 1 = clique edge
     levels: List[LevelStats] = field(default_factory=list)
     meta: Dict[str, float] = field(default_factory=dict)
+    structure: Optional[RepairStructure] = None
 
     @property
     def size(self) -> int:

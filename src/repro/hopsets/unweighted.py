@@ -54,7 +54,7 @@ from repro.errors import ParameterError
 from repro.graph.builders import induced_subgraph, induced_subgraph_forest
 from repro.graph.csr import CSRGraph, csr_from_arrays
 from repro.hopsets.params import HopsetParams
-from repro.hopsets.result import HopsetResult, LevelStats
+from repro.hopsets.result import HopsetResult, LevelStats, RepairStructure
 from repro.paths.bfs import bfs
 from repro.paths.engine import shortest_paths, shortest_paths_batch
 from repro.paths.weighted_bfs import dial_sssp
@@ -113,7 +113,12 @@ class _Collector:
             else:
                 d[k] += v
 
-    def finish(self, g: CSRGraph, meta: Dict[str, float]) -> HopsetResult:
+    def finish(
+        self,
+        g: CSRGraph,
+        meta: Dict[str, float],
+        structure: Optional[RepairStructure] = None,
+    ) -> HopsetResult:
         if self.eu:
             eu = np.concatenate(self.eu)
             ev = np.concatenate(self.ev)
@@ -137,7 +142,10 @@ class _Collector:
             )
             for lv, d in sorted(self.level_stats.items())
         ]
-        return HopsetResult(graph=g, eu=eu, ev=ev, ew=ew, kind=kind, levels=levels, meta=meta)
+        return HopsetResult(
+            graph=g, eu=eu, ev=ev, ew=ew, kind=kind, levels=levels, meta=meta,
+            structure=structure,
+        )
 
 
 def _center_distances(
@@ -480,24 +488,17 @@ def _build_level_sync(
     workers: WorkersArg = DEFAULT_WORKERS,
     checkpoint_path: Optional[str] = None,
     checkpoint_every: int = 1,
+    structure: Optional[Dict[str, np.ndarray]] = None,
 ) -> None:
     """Level-synchronous execution of Algorithm 4 (the batched strategy).
 
-    State per level: a block-diagonal union of every active subproblem
-    (vertices of subproblem ``j`` are the contiguous block
-    ``[ptr[j], ptr[j+1])``), the map ``vmap`` back to original ids, and
-    one RNG per subproblem.  Each iteration runs one forest EST race,
-    one (chunked) batch of center searches, two vectorized edge
-    passes, and one forest rebuild for the next level.
-
-    Randomness discipline matches the recursive oracle stream-for-
-    stream: subproblem ``j`` draws its shifts from its own generator,
-    then spawns one child generator per cluster (level 0) or per small
-    cluster (deeper) and hands them to the surviving children in label
-    order — so both strategies emit identical edge sets per seed.
+    Initializes (or resumes from checkpoint) the per-level state and
+    hands it to :func:`_run_levels`, which owns the level loop.  When
+    ``structure`` is a dict, the level-0 labels and spawned child seeds
+    are recorded into it (the substrate of localized dynamic repair,
+    :mod:`repro.dynamic`).
     """
     n_final = params.n_final(n_top)
-    rho = params.rho(n_top)
     if g.n <= n_final:
         return
 
@@ -533,36 +534,108 @@ def _build_level_sync(
         out.level_stats = {
             int(lv): st for lv, st in saved.scalars["level_stats"].items()
         }
+        if structure is not None and "top_labels" in a:
+            structure["top_labels"] = a["top_labels"]
+            structure["top_seeds"] = a["top_seeds"]
     else:
         union = g
         vmap = np.arange(g.n, dtype=np.int64)
         ptr = np.asarray([0, g.n], dtype=np.int64)
         rngs = [rng]
         level = 0
+    _run_levels(
+        union,
+        vmap,
+        ptr,
+        rngs,
+        level,
+        params,
+        n_top,
+        method,
+        tracker,
+        out,
+        star_weights=star_weights,
+        backend=backend,
+        workers=workers,
+        checkpoint_path=checkpoint_path,
+        checkpoint_every=checkpoint_every,
+        fp=fp,
+        structure=structure,
+    )
+
+
+def _run_levels(
+    union: CSRGraph,
+    vmap: np.ndarray,
+    ptr: np.ndarray,
+    rngs: List[np.random.Generator],
+    level: int,
+    params: HopsetParams,
+    n_top: int,
+    method: str,
+    tracker: PramTracker,
+    out: _Collector,
+    star_weights: str = "tree",
+    backend: Optional[str] = None,
+    workers: WorkersArg = DEFAULT_WORKERS,
+    checkpoint_path: Optional[str] = None,
+    checkpoint_every: int = 1,
+    fp: Optional[str] = None,
+    structure: Optional[Dict[str, np.ndarray]] = None,
+) -> None:
+    """The level loop of the batched builder, from arbitrary entry state.
+
+    State per level: a block-diagonal union of every active subproblem
+    (vertices of subproblem ``j`` are the contiguous block
+    ``[ptr[j], ptr[j+1])``), the map ``vmap`` back to original ids, and
+    one RNG per subproblem.  Each iteration runs one forest EST race,
+    one (chunked) batch of center searches, two vectorized edge
+    passes, and one forest rebuild for the next level.
+
+    Randomness discipline matches the recursive oracle stream-for-
+    stream: subproblem ``j`` draws its shifts from its own generator,
+    then spawns one child generator per cluster (level 0) or per small
+    cluster (deeper) and hands them to the surviving children in label
+    order — so both strategies emit identical edge sets per seed.
+
+    Because blocks never interact, entering at ``level=1`` with a
+    forest of selected level-0 clusters and their recorded spawn seeds
+    reproduces — bit for bit — the edges a full build emits for those
+    clusters.  That equivalence is what :mod:`repro.dynamic` leans on
+    to repair only dirty blocks after an update batch.
+    """
+    n_final = params.n_final(n_top)
+    rho = params.rho(n_top)
     while rngs and level < params.max_levels:
         if checkpoint_path is not None and level and level % checkpoint_every == 0:
             from repro import checkpoint as _ckpt
 
+            arrays = {
+                "g_indptr": union.indptr,
+                "g_indices": union.indices,
+                "g_weights": union.weights,
+                "g_edge_ids": union.edge_ids,
+                "g_edge_u": union.edge_u,
+                "g_edge_v": union.edge_v,
+                "g_edge_w": union.edge_w,
+                "vmap": vmap,
+                "ptr": np.asarray(ptr),
+                "out_eu": np.concatenate(out.eu) if out.eu else np.empty(0, np.int64),
+                "out_ev": np.concatenate(out.ev) if out.ev else np.empty(0, np.int64),
+                "out_ew": np.concatenate(out.ew) if out.ew else np.empty(0, np.float64),
+                "out_kind": np.concatenate(out.kind) if out.kind else np.empty(0, np.int8),
+            }
+            if structure is not None and "top_labels" in structure:
+                arrays["top_labels"] = structure["top_labels"]
+                arrays["top_seeds"] = structure.get(
+                    "top_seeds", np.empty(0, np.int64)
+                )
             _ckpt.BuildCheckpoint(
                 kind="hopset",
                 fingerprint=fp,
                 level=level,
                 rng_states=[_ckpt.rng_state(r) for r in rngs],
-                arrays={
-                    "g_indptr": union.indptr,
-                    "g_indices": union.indices,
-                    "g_weights": union.weights,
-                    "g_edge_ids": union.edge_ids,
-                    "g_edge_u": union.edge_u,
-                    "g_edge_v": union.edge_v,
-                    "g_edge_w": union.edge_w,
-                    "vmap": vmap,
-                    "ptr": np.asarray(ptr),
-                    "out_eu": np.concatenate(out.eu) if out.eu else np.empty(0, np.int64),
-                    "out_ev": np.concatenate(out.ev) if out.ev else np.empty(0, np.int64),
-                    "out_ew": np.concatenate(out.ew) if out.ew else np.empty(0, np.float64),
-                    "out_kind": np.concatenate(out.kind) if out.kind else np.empty(0, np.int8),
-                },
+                arrays=arrays,
                 scalars={"union_n": int(union.n), "level_stats": out.level_stats},
             ).save(checkpoint_path)
         k = len(rngs)
@@ -598,6 +671,10 @@ def _build_level_sync(
             recurse_mask = np.ones(nclus, dtype=bool)
             local_idx = np.arange(nclus, dtype=np.int64) - lab_start[lab_group]
             spawn_counts = lab_per_group
+            if structure is not None:
+                # level-0 labels partition the graph into the blocks all
+                # deeper work (and every emitted edge) stays inside of
+                structure["top_labels"] = clustering.labels.copy()
         else:
             large_mask = sizes >= (gsizes.astype(np.float64) / rho)[lab_group]
             out.bump(level, large_clusters=int(large_mask.sum()))
@@ -628,6 +705,9 @@ def _build_level_sync(
         if child_labels.size == 0:
             break
         seeds = [spawn_seeds(rngs[j], int(spawn_counts[j])) for j in range(k)]
+        if structure is not None and level == 0:
+            # child seed of level-0 cluster ``lab`` is ``top_seeds[lab]``
+            structure["top_seeds"] = np.asarray(seeds[0], dtype=np.int64).copy()
         new_rngs = [
             resolve_rng(int(seeds[lab_group[lab]][local_idx[lab]]))
             for lab in child_labels
@@ -654,6 +734,7 @@ def build_hopset(
     workers: WorkersArg = DEFAULT_WORKERS,
     checkpoint_path: Optional[str] = None,
     checkpoint_every: int = 1,
+    record_structure: bool = False,
 ) -> HopsetResult:
     """Run Algorithm 4 on ``g`` and return the hopset.
 
@@ -689,6 +770,11 @@ def build_hopset(
         :func:`repro.paths.engine.shortest_paths`; unweighted BFS
         races don't go through the bucket kernels and stay serial).
         Hopset output is identical for every value.
+    record_structure:
+        Attach a :class:`repro.hopsets.result.RepairStructure` (the
+        level-0 block labels and per-block child seeds) to the result,
+        enabling localized repair via :mod:`repro.dynamic`.  Batched
+        strategy only.
 
     Works on unweighted and (positive-) weighted graphs alike; the
     Section 5 pipeline calls this on rounded integer graphs.
@@ -702,9 +788,12 @@ def build_hopset(
         raise ParameterError("checkpointing requires strategy='batched'")
     if checkpoint_every < 1:
         raise ParameterError("checkpoint_every must be >= 1")
+    if record_structure and strategy != "batched":
+        raise ParameterError("record_structure requires strategy='batched'")
     tracker = tracker or null_tracker()
     rng = resolve_rng(seed)
     out = _Collector()
+    structure: Optional[Dict[str, np.ndarray]] = {} if record_structure else None
     with tracker.phase("hopset"):
         if strategy == "batched":
             _build_level_sync(
@@ -720,6 +809,7 @@ def build_hopset(
                 workers=workers,
                 checkpoint_path=checkpoint_path,
                 checkpoint_every=checkpoint_every,
+                structure=structure,
             )
         else:
             _recurse(
@@ -749,5 +839,22 @@ def build_hopset(
         "beta0": params.beta0(g.n),
         "rho": params.rho(g.n),
         "n_final": float(params.n_final(g.n)),
+        "c_growth": params.c_growth,
+        "max_levels": float(params.max_levels),
     }
-    return out.finish(g, meta)
+    repair: Optional[RepairStructure] = None
+    if record_structure:
+        assert structure is not None
+        has_edges = any(a.size for a in out.eu)
+        if has_edges and "top_labels" not in structure:
+            # resumed from a pre-structure checkpoint: labels are gone
+            raise ParameterError(
+                "checkpoint predates record_structure; rebuild from scratch"
+            )
+        repair = RepairStructure(
+            top_labels=structure.get(
+                "top_labels", np.zeros(g.n, dtype=np.int64)
+            ),
+            top_seeds=structure.get("top_seeds", np.empty(0, dtype=np.int64)),
+        )
+    return out.finish(g, meta, structure=repair)

@@ -36,13 +36,16 @@ from __future__ import annotations
 import json
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import ParameterError
 from repro.graph.csr import CSRGraph
-from repro.hopsets.result import HopsetResult
+from repro.hopsets.result import HopsetResult, RepairStructure
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.dynamic.batch import UpdateBatch
 from repro.kernels import hop_sssp_batch, hop_sssp_batch_numba, resolve_backend
 from repro.pram.tracker import PramTracker, null_tracker
 from repro.parallel.pool import DEFAULT_WORKERS, WorkersArg
@@ -64,6 +67,7 @@ class ServerStats:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_evictions: int = 0
+    cache_invalidations: int = 0
     rounds: int = 0
     arcs: int = 0
 
@@ -76,6 +80,7 @@ class ServerStats:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_evictions": self.cache_evictions,
+            "cache_invalidations": self.cache_invalidations,
             "rounds": self.rounds,
             "arcs": self.arcs,
         }
@@ -234,6 +239,116 @@ class DistanceServer:
         return got
 
     # ------------------------------------------------------------------
+    # dynamic updates
+    # ------------------------------------------------------------------
+    def _stale_sources(
+        self,
+        added: Tuple[np.ndarray, np.ndarray, np.ndarray],
+        removed: Tuple[np.ndarray, np.ndarray, np.ndarray],
+    ) -> List[int]:
+        """Cached sources whose rows may change under the batch.
+
+        Valid for ``h=None`` rows only (they are exact distances on G):
+        a row ``D`` survives iff no added edge shortens it
+        (``D[u] + w < D[v]`` either way) and no removed edge was tight
+        on it (``D[u] + w_old == D[v]`` either way — a tight edge may
+        have carried shortest paths, so the distance could grow).
+        """
+        au, av, aw = added
+        ru, rv, rw = removed
+        tol = 1e-9
+        stale: List[int] = []
+        for s, D in self._cache.items():
+            bad = False
+            if au.size:
+                da, db = D[au], D[av]
+                bad = bool(
+                    np.any(da + aw < db - tol) or np.any(db + aw < da - tol)
+                )
+            if not bad and ru.size:
+                da, db = D[ru], D[rv]
+                scale = np.maximum(1.0, np.abs(db))
+                tight = np.abs(da + rw - db) <= tol * scale
+                scale = np.maximum(1.0, np.abs(da))
+                tight |= np.abs(db + rw - da) <= tol * scale
+                bad = bool(np.any(tight))
+            if bad:
+                stale.append(s)
+        return stale
+
+    def apply_updates(
+        self,
+        batch: "UpdateBatch",
+        method: str = "auto",
+        star_weights: str = "tree",
+    ) -> Dict[str, object]:
+        """Advance the served hopset through one update batch.
+
+        Repairs only the dirty level-0 blocks
+        (:func:`repro.dynamic.hopset.repair_hopset` — requires the
+        hopset to carry a repair structure), recompiles the hot union
+        CSR, and evicts exactly the cached source rows the batch can
+        have changed: with ``h=None`` rows are exact distances, so a
+        row stays warm unless an added edge shortens it or a removed
+        edge was tight on it.  With an explicit ``h`` the cache is
+        cleared wholesale (hop-limited rows have no cheap staleness
+        certificate).  Returns the repair statistics (including the
+        exact ``inverse`` batch).
+        """
+        from repro.dynamic.batch import apply_batch
+        from repro.dynamic.hopset import repair_hopset
+        from repro.hopsets.params import HopsetParams
+
+        if self.hopset.structure is None:
+            raise ParameterError(
+                "served hopset has no repair structure; build with "
+                "record_structure=True"
+            )
+        meta = self.hopset.meta
+        try:
+            params = HopsetParams(
+                epsilon=float(meta["epsilon"]),
+                delta=float(meta["delta"]),
+                gamma1=float(meta["gamma1"]),
+                gamma2=float(meta["gamma2"]),
+                c_growth=float(meta["c_growth"]),
+                max_levels=int(meta["max_levels"]),
+            )
+        except KeyError as exc:
+            raise ParameterError(
+                f"hopset meta lacks {exc} needed to reconstruct build params"
+            ) from exc
+        ar = apply_batch(self.hopset.graph, batch)
+        repaired, info = repair_hopset(
+            self.hopset,
+            ar.graph,
+            ar.touched,
+            params=params,
+            method=method,
+            star_weights=star_weights,
+            backend=self.backend,
+            workers=self.workers,
+            tracker=self.tracker,
+        )
+        if self.h is None:
+            stale = self._stale_sources(
+                (ar.added_u, ar.added_v, ar.added_w),
+                (ar.removed_u, ar.removed_v, ar.removed_w),
+            )
+        else:
+            stale = list(self._cache)
+        for s in stale:
+            del self._cache[s]
+        self.stats.cache_invalidations += len(stale)
+        self.hopset = repaired
+        self._indptr, self._indices, self._weights = repaired.union_csr()
+        out: Dict[str, object] = dict(ar.stats)
+        out.update(info)
+        out["invalidated_rows"] = len(stale)
+        out["inverse"] = ar.inverse
+        return out
+
+    # ------------------------------------------------------------------
     # query API
     # ------------------------------------------------------------------
     def distance_row(self, s: int) -> np.ndarray:
@@ -284,7 +399,15 @@ class DistanceServer:
 # hopset persistence (the CLI's build-or-load contract)
 # ----------------------------------------------------------------------
 def save_hopset(hopset: HopsetResult, path: str) -> None:
-    """Persist a hopset's edges (npz) so serving never rebuilds."""
+    """Persist a hopset's edges (npz) so serving never rebuilds.
+
+    A repair structure, when present, rides along — a reloaded hopset
+    then still supports :meth:`DistanceServer.apply_updates`.
+    """
+    extra: Dict[str, np.ndarray] = {}
+    if hopset.structure is not None:
+        extra["top_labels"] = hopset.structure.top_labels
+        extra["top_seeds"] = hopset.structure.top_seeds
     np.savez(
         path,
         n=np.int64(hopset.graph.n),
@@ -293,6 +416,7 @@ def save_hopset(hopset: HopsetResult, path: str) -> None:
         ew=hopset.ew,
         kind=hopset.kind,
         meta=np.array(json.dumps(hopset.meta)),
+        **extra,
     )
 
 
@@ -305,6 +429,11 @@ def load_hopset(graph: CSRGraph, path: str) -> HopsetResult:
                 f"hopset file {path} was built for n={n}, graph has n={graph.n}"
             )
         meta = json.loads(str(z["meta"]))
+        structure = None
+        if "top_labels" in z.files:
+            structure = RepairStructure(
+                top_labels=z["top_labels"], top_seeds=z["top_seeds"]
+            )
         return HopsetResult(
             graph=graph,
             eu=z["eu"],
@@ -313,4 +442,5 @@ def load_hopset(graph: CSRGraph, path: str) -> HopsetResult:
             kind=z["kind"],
             levels=[],
             meta=meta,
+            structure=structure,
         )

@@ -179,3 +179,85 @@ class TestDiagnostics:
         g = from_edges(1, [])
         c = est_cluster(g, 0.5, seed=1, method="exact")
         assert c.num_clusters == 1
+
+
+# ----------------------------------------------------------------------
+# ROADMAP item 2a: backend-independent forests in every race mode
+# ----------------------------------------------------------------------
+class TestCanonicalForestsAcrossBackends:
+    """Integer Dial round-mode races (EST mode 1) canonicalize their
+    parent forests exactly like the exact float mode: ties between
+    equally-tight tree arcs resolve to the minimum source, so the forest
+    edge set is a function of the distances alone — identical on every
+    backend and worker count."""
+
+    BACKENDS = ["numpy", "reference"]
+
+    @staticmethod
+    def _forest_key(c):
+        child, parent = c.forest_edges()
+        return set(zip(child.tolist(), parent.tolist()))
+
+    def _all_clusterings(self, g, beta, seed, workers=1):
+        from repro.kernels.numba_kernel import HAVE_NUMBA
+
+        backends = list(self.BACKENDS) + (["numba"] if HAVE_NUMBA else [])
+        return [
+            est_cluster(
+                g, beta, seed=seed, method="round", backend=b, workers=workers
+            )
+            for b in backends
+        ]
+
+    def test_dial_round_mode_forest_identical(self, small_int_weighted):
+        results = self._all_clusterings(small_int_weighted, 0.2, seed=3)
+        base = results[0]
+        for other in results[1:]:
+            assert np.array_equal(base.center, other.center)
+            assert np.array_equal(base.parent, other.parent)
+            assert self._forest_key(base) == self._forest_key(other)
+
+    def test_dial_round_mode_workers_identical(self, small_int_weighted):
+        a = self._all_clusterings(small_int_weighted, 0.25, seed=9, workers=1)[0]
+        b = est_cluster(
+            small_int_weighted, 0.25, seed=9, method="round",
+            backend="numpy", workers=2,
+        )
+        assert np.array_equal(a.parent, b.parent)
+
+    def test_dial_forest_arcs_are_tight(self, small_int_weighted):
+        # every canonical parent arc is tight for the race distances
+        g = small_int_weighted
+        c = est_cluster(g, 0.2, seed=3, method="round", backend="numpy")
+        child, parent = c.forest_edges()
+        for ch, pa in zip(child.tolist()[:50], parent.tolist()[:50]):
+            assert c.center[ch] == c.center[pa]
+
+    def test_forest_race_mode1_identical(self, small_int_weighted):
+        from repro.clustering import est_cluster_forest
+        from repro.clustering.shifts import sample_shifts
+        from repro.graph.builders import induced_subgraph_forest
+        from repro.kernels.numba_kernel import HAVE_NUMBA
+        from repro.rng import resolve_rng
+
+        g = small_int_weighted
+        half = g.n // 2
+        groups = [np.arange(half), np.arange(half, g.n)]
+        forest = induced_subgraph_forest(g, groups)
+        shifts = np.concatenate([
+            sample_shifts(half, 0.3, resolve_rng(1)),
+            sample_shifts(g.n - half, 0.3, resolve_rng(2)),
+        ])
+        backends = ["numpy", "reference"] + (["numba"] if HAVE_NUMBA else [])
+        results = [
+            est_cluster_forest(
+                forest.graph, 0.3, forest.ptr, shifts, method="round",
+                backend=b,
+            )
+            for b in backends
+        ]
+        base = results[0]
+        for other in results[1:]:
+            assert np.array_equal(base.labels, other.labels)
+            assert np.array_equal(base.parent, other.parent)
+            assert self._forest_key(base) == self._forest_key(other)

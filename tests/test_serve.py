@@ -409,3 +409,140 @@ class TestPersistenceAndCLI:
         out = capsys.readouterr().out
         assert rc == 0
         assert "h=2" in out
+
+
+# ----------------------------------------------------------------------
+# dynamic updates: exact cache invalidation
+# ----------------------------------------------------------------------
+class TestApplyUpdates:
+    @pytest.fixture()
+    def dyn_served(self):
+        g = _random_weighted(140, 420, seed=21)
+        hs = build_hopset(g, PARAMS, seed=11, record_structure=True)
+        return g, hs
+
+    @staticmethod
+    def _redundant_edge(g):
+        """An edge on no shortest path and nowhere tight: deleting it
+        changes no distance row."""
+        for i in np.argsort(-g.edge_w):
+            u, v, w = int(g.edge_u[i]), int(g.edge_v[i]), float(g.edge_w[i])
+            if dijkstra_scipy(g, u)[v] < w - 1e-9:
+                return u, v, w
+        raise AssertionError("graph has no redundant edge")
+
+    def test_irrelevant_batch_keeps_rows_warm(self, dyn_served):
+        from repro.dynamic import UpdateBatch
+
+        g, hs = dyn_served
+        srv = DistanceServer(hs, cache_rows=16)
+        warm = [0, 30, 77]
+        old_rows = {s: srv.distance_row(s).copy() for s in warm}
+        u, v, _ = self._redundant_edge(g)
+        # delete a redundant edge and insert a *fresh* one too heavy to
+        # shorten anything: no cached row can have changed
+        nbrs = set(g.indices[g.indptr[0]:g.indptr[1]].tolist())
+        t = next(x for x in range(1, g.n) if x not in nbrs)
+        batch = UpdateBatch.from_tuples(
+            inserts=[(0, t, 2 * float(old_rows[0][t]) + 10)],
+            deletes=[(u, v)],
+        )
+        hits0 = srv.stats.cache_hits
+        info = srv.apply_updates(batch)
+        assert info["invalidated_rows"] == 0
+        assert srv.stats.cache_invalidations == 0
+        assert sorted(srv.cached_sources()) == sorted(warm)
+        for s in warm:
+            row = srv.distance_row(s)  # must be a cache hit
+            assert np.array_equal(row, old_rows[s])
+            assert np.allclose(row, dijkstra_scipy(srv.hopset.graph, s))
+        assert srv.stats.cache_hits == hits0 + len(warm)
+
+    def test_shortcut_invalidates_exactly_the_changed_rows(self, dyn_served):
+        from repro.dynamic import UpdateBatch
+
+        g, hs = dyn_served
+        srv = DistanceServer(hs, cache_rows=16)
+        warm = list(range(10))
+        old_rows = {s: srv.distance_row(s).copy() for s in warm}
+        # a tiny-weight shortcut between the two endpoints realizing the
+        # diameter-ish pair of row 0 shortens many rows, rarely all
+        far = int(np.argmax(np.where(np.isfinite(old_rows[0]), old_rows[0], -1)))
+        batch = UpdateBatch.from_tuples(inserts=[(0, far, 0.01)])
+        info = srv.apply_updates(batch)
+        gs_new = srv.hopset.graph
+        changed = {
+            s for s in warm
+            if not np.allclose(old_rows[s], dijkstra_scipy(gs_new, s))
+        }
+        still_cached = set(srv.cached_sources())
+        # insert-only batches make the staleness rule exact: evicted ==
+        # changed, warm == unchanged
+        assert changed and still_cached == set(warm) - changed
+        assert info["invalidated_rows"] == len(changed)
+        misses0 = srv.stats.cache_misses
+        hits0 = srv.stats.cache_hits
+        for s in warm:
+            assert np.allclose(srv.distance_row(s), dijkstra_scipy(gs_new, s))
+        assert srv.stats.cache_misses == misses0 + len(changed)
+        assert srv.stats.cache_hits == hits0 + len(warm) - len(changed)
+
+    def test_delete_tight_edge_recomputes_row(self, dyn_served):
+        from repro.dynamic import UpdateBatch
+
+        g, hs = dyn_served
+        srv = DistanceServer(hs, cache_rows=16)
+        row0 = srv.distance_row(0).copy()
+        # deleting an edge incident to 0 that realizes d(0, v) must
+        # invalidate row 0 (it was tight by construction)
+        lo, hi = g.indptr[0], g.indptr[1]
+        nbr = int(g.indices[lo])
+        w = float(g.weights[lo])
+        assert row0[nbr] <= w + 1e-9
+        batch = UpdateBatch.from_tuples(deletes=[(0, nbr)])
+        srv.apply_updates(batch)
+        assert 0 not in srv.cached_sources()
+        assert np.allclose(
+            srv.distance_row(0), dijkstra_scipy(srv.hopset.graph, 0)
+        )
+
+    def test_hop_budget_clears_whole_cache(self, dyn_served):
+        from repro.dynamic import UpdateBatch
+
+        _, hs = dyn_served
+        srv = DistanceServer(hs, h=6, cache_rows=16)
+        for s in (0, 9, 44):
+            srv.distance_row(s)
+        u, v, _ = self._redundant_edge(hs.graph)
+        srv.apply_updates(UpdateBatch.from_tuples(deletes=[(u, v)]))
+        # no staleness certificate under a hop budget: full clear
+        assert srv.cached_sources() == []
+        assert srv.stats.cache_invalidations == 3
+
+    def test_requires_structure_and_meta(self, dyn_served):
+        from repro.dynamic import UpdateBatch
+
+        g, _ = dyn_served
+        plain = build_hopset(g, PARAMS, seed=11)
+        srv = DistanceServer(plain)
+        with pytest.raises(ParameterError, match="repair structure"):
+            srv.apply_updates(UpdateBatch.from_tuples(inserts=[(0, 1, 5.0)]))
+
+    def test_structure_survives_save_load(self, dyn_served, tmp_path):
+        from repro.dynamic import UpdateBatch
+
+        g, hs = dyn_served
+        path = str(tmp_path / "hs_dyn.npz")
+        save_hopset(hs, path)
+        hs2 = load_hopset(g, path)
+        assert hs2.structure is not None
+        assert np.array_equal(hs2.structure.top_labels, hs.structure.top_labels)
+        assert np.array_equal(hs2.structure.top_seeds, hs.structure.top_seeds)
+        srv = DistanceServer(hs2)
+        info = srv.apply_updates(UpdateBatch.from_tuples(inserts=[(0, 70, 1.5)]))
+        srv.apply_updates(info["inverse"])
+        assert np.allclose(srv.distance_row(0), dijkstra_scipy(g, 0))
+
+    def test_stats_include_invalidations(self):
+        d = ServerStats().as_dict()
+        assert d["cache_invalidations"] == 0
